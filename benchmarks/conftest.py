@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper at full scale,
+prints the paper-vs-measured report (run pytest with ``-s`` to see it),
+and asserts the qualitative shape so a regression in the reproduction
+fails the bench run, not just the timing.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    These are macro-benchmarks (whole simulation campaigns); repeating
+    them for statistical timing would multiply minutes for no insight.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,88 @@
+"""A busy server's worth of short transfers — the deployment story.
+
+The paper's pitch is that only *servers* need modification ("only the
+servers in the Internet need to be modified slightly, while keeping
+intact millions of TCP clients").  This example plays that out: a
+server farm pushes many short files (a web-like mice workload, cf. the
+paper's reference [1] on busy-server TCP behaviour) through a congested
+bottleneck.  We compare the fleet-wide completion times when the
+servers run Reno vs Robust Recovery — the receivers are plain TCP
+clients in both runs, unlike a SACK upgrade which would require
+touching every client.
+
+Run:  python examples/busy_web_server.py
+"""
+
+from typing import List
+
+from repro import DumbbellParams
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.metrics.fairness import jain_index
+from repro.viz.ascii import format_table
+
+N_TRANSFERS = 16
+FILE_PACKETS = 60          # ~60 KB objects
+STAGGER = 0.4              # a new request every 400 ms
+
+
+def run_fleet(variant: str):
+    flows = [
+        FlowSpec(
+            variant=variant,
+            amount_packets=FILE_PACKETS,
+            start_time=i * STAGGER,
+        )
+        for i in range(N_TRANSFERS)
+    ]
+    scenario = build_dumbbell_scenario(
+        flows=flows,
+        params=DumbbellParams(n_pairs=N_TRANSFERS, buffer_packets=12),
+    )
+    scenario.sim.run(until=600.0)
+    delays: List[float] = []
+    timeouts = 0
+    retransmits = 0
+    for flow_id in range(1, N_TRANSFERS + 1):
+        sender = scenario.senders[flow_id]
+        source = scenario.sources[flow_id]
+        assert sender.completed, f"transfer {flow_id} did not finish"
+        delays.append(source.transfer_delay)
+        timeouts += sender.timeouts
+        retransmits += sender.retransmits
+    return delays, timeouts, retransmits
+
+
+def main() -> None:
+    print(
+        f"{N_TRANSFERS} transfers of {FILE_PACKETS} KB each, staggered"
+        f" {STAGGER}s apart, 0.8 Mb/s bottleneck, 12-packet buffer\n"
+    )
+    rows = []
+    for variant in ("reno", "newreno", "rr"):
+        delays, timeouts, retransmits = run_fleet(variant)
+        delays.sort()
+        n = len(delays)
+        rows.append(
+            [
+                variant,
+                f"{sum(delays) / n:.1f}",
+                f"{delays[n // 2]:.1f}",
+                f"{delays[-1]:.1f}",
+                timeouts,
+                retransmits,
+                f"{jain_index(delays):.3f}",
+            ]
+        )
+    print(format_table(
+        ["server stack", "mean s", "median s", "worst s", "RTOs", "rtx", "delay Jain"],
+        rows,
+    ))
+    print(
+        "\nOnly the server side changed between rows — every client ran the"
+        "\nsame plain TCP receiver (the RR deployment argument; a SACK"
+        "\nupgrade would have required modifying all of them)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Global synchronization: why the paper's Section 3.3 reaches for RED.
+
+Six Reno flows share a drop-tail bottleneck: they fill the buffer
+together, lose together at the overflow instant, halve together, and
+leave the link idle together — the classic pathology of the paper's
+reference [22].  The same fleet behind a RED gateway desynchronises.
+
+The example measures it three ways:
+
+* the **loss-synchronization index** (fraction of loss events hitting
+  2+ flows at once),
+* **bottleneck starvation valleys** (long empty-queue periods), and
+* an ASCII **queue-occupancy plot** where the sawtooth of
+  synchronisation is visible to the eye.
+
+Run:  python examples/global_synchronization.py
+"""
+
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.metrics.queuemon import QueueMonitor
+from repro.metrics.sync import loss_synchronization_index, mean_flows_per_event
+from repro.net.red import RedParams, RedQueue
+from repro.net.topology import DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+from repro.viz.ascii import ascii_scatter, format_table
+
+N_FLOWS = 6
+DURATION = 30.0
+
+
+def run(gateway: str):
+    sim = Simulator()
+    kwargs = {}
+    if gateway == "red":
+        rng = RngStream(5, "red")
+        # RED thresholds scaled to the same 12-packet physical buffer
+        # as the drop-tail run.
+        red_params = RedParams(weight=0.02, min_th=3, max_th=9, limit=12)
+        kwargs["bottleneck_queue_factory"] = lambda name: RedQueue(
+            sim, red_params, rng.substream(name), name=name
+        )
+        kwargs["sim"] = sim
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant="reno", amount_packets=None) for _ in range(N_FLOWS)],
+        params=DumbbellParams(n_pairs=N_FLOWS, buffer_packets=12),
+        **kwargs,
+    )
+    monitor = QueueMonitor(scenario.sim, scenario.dumbbell.bottleneck_queue, period=0.02)
+    scenario.sim.run(until=DURATION)
+    drops = {flow_id: stats.drop_times for flow_id, stats in scenario.stats.items()}
+    goodput = sum(stats.final_ack for stats in scenario.stats.values())
+    return {
+        "sync_index": loss_synchronization_index(drops),
+        "flows_per_event": mean_flows_per_event(drops),
+        "valleys": monitor.empty_periods(min_duration=0.1),
+        "utilisation": monitor.utilisation_proxy(),
+        "total_goodput_kbps": goodput * 8.0 / DURATION,
+        "occupancy": monitor.samples,
+    }
+
+
+def main() -> None:
+    results = {gateway: run(gateway) for gateway in ("droptail", "red")}
+
+    rows = []
+    for gateway, data in results.items():
+        rows.append(
+            [
+                gateway,
+                f"{data['sync_index']:.2f}",
+                f"{data['flows_per_event']:.2f}",
+                len(data["valleys"]),
+                f"{data['utilisation']:.2f}",
+                f"{data['total_goodput_kbps']:.0f}",
+            ]
+        )
+    print(f"{N_FLOWS} Reno flows, 0.8 Mb/s bottleneck, {DURATION:.0f}s\n")
+    print(
+        format_table(
+            [
+                "gateway",
+                "sync index",
+                "flows/loss-event",
+                "starvation valleys",
+                "busy fraction",
+                "fleet kbps",
+            ],
+            rows,
+        )
+    )
+
+    for gateway, data in results.items():
+        window = [(t, q) for t, q in data["occupancy"] if 5.0 <= t <= 15.0]
+        print()
+        print(
+            ascii_scatter(
+                {"queue": window},
+                title=f"--- bottleneck occupancy, {gateway} (t=5..15s) ---",
+                x_label="time (s)",
+                y_label="packets queued",
+                height=12,
+            )
+        )
+    print(
+        "\n(the paper's §3.3 point: drop-tail losses strike many flows at"
+        "\n once — high sync index, deep coordinated valleys; RED randomises"
+        "\n the drops and keeps the buffer, and therefore the link, busy)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Multi-bottleneck recovery: the parking-lot topology.
+
+A long flow crosses three 0.8 Mb/s bottlenecks in a row while a cross
+flow loads each hop.  The long path sees correlated congestion at
+several points — loss bursts can span hops — and collects the classic
+parking-lot penalty (it competes everywhere, so AIMD gives it less than
+a per-hop fair share).  We compare how each recovery scheme carries the
+long flow through it.
+
+Run:  python examples/multi_bottleneck.py
+"""
+
+from repro.app.ftp import FtpSource
+from repro.metrics.flowstats import FlowStats
+from repro.net.parkinglot import ParkingLot, ParkingLotParams
+from repro.sim.engine import Simulator
+from repro.tcp.factory import make_connection
+from repro.viz.ascii import format_table
+
+N_HOPS = 3
+DURATION = 40.0
+
+
+def run(variant: str):
+    sim = Simulator()
+    lot = ParkingLot(sim, ParkingLotParams(n_hops=N_HOPS, buffer_packets=15))
+    long_stats = FlowStats(flow_id=1)
+    long_stats.watch_drops(lot.net.trace)
+    long_sender, _ = make_connection(
+        sim, variant, 1, lot.long_src, lot.long_dst, observer=long_stats
+    )
+    FtpSource(sim, long_sender, amount_packets=None)
+    cross = []
+    for hop in range(1, N_HOPS + 1):
+        src, dst = lot.cross_pair(hop)
+        stats = FlowStats(flow_id=hop + 1)
+        sender, _ = make_connection(sim, variant, hop + 1, src, dst, observer=stats)
+        FtpSource(sim, sender, amount_packets=None, start_time=0.1 * hop)
+        cross.append(stats)
+    sim.run(until=DURATION)
+    cross_mean = sum(s.final_ack for s in cross) / len(cross)
+    return {
+        "long_kbps": long_stats.final_ack * 8.0 / DURATION,
+        "cross_kbps": cross_mean * 8.0 / DURATION,
+        "long_drops": long_stats.drops_observed,
+        "timeouts": long_sender.timeouts,
+    }
+
+
+def main() -> None:
+    print(
+        f"parking lot: {N_HOPS} bottlenecks of 0.8 Mb/s, one long flow +"
+        f" one cross flow per hop, {DURATION:.0f}s\n"
+    )
+    rows = []
+    for variant in ("reno", "newreno", "sack", "rr"):
+        data = run(variant)
+        rows.append(
+            [
+                variant,
+                f"{data['long_kbps']:.0f}",
+                f"{data['cross_kbps']:.0f}",
+                f"{data['long_kbps'] / data['cross_kbps']:.2f}",
+                data["long_drops"],
+                data["timeouts"],
+            ]
+        )
+    print(
+        format_table(
+            [
+                "scheme",
+                "long-flow kbps",
+                "cross mean kbps",
+                "long/cross",
+                "long drops",
+                "long RTOs",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\n(the long/cross ratio below 1.0 is the parking-lot penalty —"
+        "\n robust recovery helps the long flow survive its multi-hop loss"
+        "\n exposure, but cannot repeal AIMD's multi-bottleneck bias)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Run the bundled JSON scenario files (or your own).
+
+Scenarios are plain JSON (schema in
+``repro/experiments/scenario_file.py``); this driver runs each file and
+prints the per-flow summary.
+
+Run:  python examples/run_scenario_files.py [scenario.json ...]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.scenario_file import run_scenario_file, summarize_scenario
+from repro.viz.ascii import format_table
+
+BUNDLED = sorted((Path(__file__).parent / "scenarios").glob("*.json"))
+
+
+def run_one(path: Path) -> None:
+    spec = json.loads(path.read_text())
+    print(f"=== {path.name} ===")
+    if "comment" in spec:
+        print(spec["comment"])
+    scenario = run_scenario_file(path)
+    summary = summarize_scenario(scenario)
+    rows = []
+    for flow_id, flow in sorted(summary["flows"].items(), key=lambda kv: int(kv[0])):
+        rows.append(
+            [
+                f"{flow_id} ({flow['variant']})",
+                "yes" if flow["completed"] else "no",
+                f"{flow['complete_time']:.2f}" if flow["complete_time"] else "-",
+                flow["final_ack"],
+                flow["retransmits"],
+                flow["timeouts"],
+                flow["drops_observed"],
+            ]
+        )
+    print(
+        format_table(
+            ["flow", "done", "at s", "acked", "rtx", "RTOs", "drops"], rows
+        )
+    )
+    print()
+
+
+def main() -> None:
+    paths = [Path(p) for p in sys.argv[1:]] or BUNDLED
+    for path in paths:
+        run_one(path)
+
+
+if __name__ == "__main__":
+    main()

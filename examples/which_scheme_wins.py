@@ -1,0 +1,49 @@
+"""Which recovery scheme wins on *your* path?
+
+The analysis API sweeps variants × seeds over any declarative scenario
+and ranks them with confidence intervals.  Here: a 300-packet transfer
+over three different path characters —
+
+* a clean, congestion-only path (losses are self-inflicted overflow),
+* a moderately lossy random channel (2% i.i.d.),
+* a bursty channel at the same average rate (Gilbert-Elliott).
+
+Run:  python examples/which_scheme_wins.py
+"""
+
+from repro.analysis import ComparisonConfig, compare_variants, format_comparison
+
+BASE = {
+    "topology": {"n_pairs": 1, "buffer_packets": 25,
+                 "bottleneck_bandwidth_mbps": 0.8, "bottleneck_delay_ms": 50},
+    "tcp": {"receiver_window": 64},
+    "flows": [{"variant": "rr", "packets": 300}],
+    "duration": 300.0,
+}
+
+PATHS = {
+    "clean (overflow only)": {},
+    "random loss 2%": {"loss": {"kind": "uniform", "rate": 0.02}},
+    "bursty loss 2% (GE)": {
+        "loss": {"kind": "gilbert-elliott", "p_good_to_bad": 0.0135,
+                 "p_bad_to_good": 0.33, "p_bad": 0.5}
+    },
+}
+
+
+def main() -> None:
+    for label, extra in PATHS.items():
+        scenario = {**BASE, **extra}
+        config = ComparisonConfig(
+            scenario=scenario,
+            variants=("tahoe", "newreno", "sack", "rr"),
+            seeds=(1, 2, 3, 4, 5),
+        )
+        result = compare_variants(config)
+        print(f"=== {label} ===")
+        print(format_comparison(result))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure at full scale and leave all
+# artifacts (text reports + CSV + JSON) under results/.
+#
+# Usage: scripts/regenerate_experiments.sh [output-dir]
+set -euo pipefail
+out="${1:-results}"
+mkdir -p "$out"
+python -m repro.experiments all --out "$out"
+echo
+echo "reports + machine-readable exports written to $out/"
+ls -1 "$out"

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so the package can
+be installed in environments whose pip/setuptools lack PEP 660 support
+(e.g. offline boxes without the ``wheel`` package):
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

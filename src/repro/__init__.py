@@ -1,0 +1,75 @@
+"""repro — a reproduction of "Robust TCP Congestion Recovery"
+(Haining Wang & Kang G. Shin, ICDCS 2001).
+
+The package bundles:
+
+* :mod:`repro.core` — the paper's contribution, the Robust Recovery
+  (RR) congestion-recovery algorithm;
+* :mod:`repro.tcp` — the baselines it is evaluated against (Tahoe,
+  Reno, New-Reno, SACK) on shared sender machinery;
+* :mod:`repro.sim` / :mod:`repro.net` — a packet-level discrete-event
+  network simulator (the ns-2 substitute): links, drop-tail and RED
+  gateways, loss injection, the paper's dumbbell topology;
+* :mod:`repro.models` — the Mathis square-root and Padhye throughput
+  models (Section 4);
+* :mod:`repro.metrics` / :mod:`repro.experiments` — measurement and
+  the harnesses regenerating every table and figure in the paper.
+
+Quickstart
+----------
+>>> from repro import Simulator, Dumbbell, DumbbellParams, make_connection, FtpSource
+>>> sim = Simulator()
+>>> bell = Dumbbell(sim, DumbbellParams(n_pairs=1))
+>>> sender, _ = make_connection(sim, "rr", 1, bell.sender(1), bell.receiver(1))
+>>> ftp = FtpSource(sim, sender, amount_packets=200)
+>>> sim.run(until=30.0)
+>>> sender.completed
+True
+"""
+
+from repro.app.ftp import FtpSource
+from repro.config import TcpConfig
+from repro.core.robust_recovery import RobustRecoverySender, RrPhase
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+)
+from repro.metrics.flowstats import FlowStats
+from repro.net.loss import AckLoss, DeterministicLoss, UniformLoss
+from repro.net.red import RedParams, RedQueue
+from repro.net.queues import DropTailQueue
+from repro.net.topology import Dumbbell, DumbbellParams
+from repro.sim.engine import Simulator
+from repro.tcp.factory import VARIANTS, make_connection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "TcpConfig",
+    "Dumbbell",
+    "DumbbellParams",
+    "DropTailQueue",
+    "RedParams",
+    "RedQueue",
+    "UniformLoss",
+    "DeterministicLoss",
+    "AckLoss",
+    "RobustRecoverySender",
+    "RrPhase",
+    "FlowStats",
+    "FtpSource",
+    "VARIANTS",
+    "make_connection",
+    "ReproError",
+    "SimulationError",
+    "SchedulingError",
+    "ConfigurationError",
+    "TopologyError",
+    "ProtocolError",
+]

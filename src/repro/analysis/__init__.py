@@ -1,0 +1,16 @@
+"""High-level analysis: run variant matrices over a scenario and
+aggregate across seeds."""
+
+from repro.analysis.compare import (
+    ComparisonConfig,
+    ComparisonResult,
+    compare_variants,
+    format_comparison,
+)
+
+__all__ = [
+    "ComparisonConfig",
+    "ComparisonResult",
+    "compare_variants",
+    "format_comparison",
+]

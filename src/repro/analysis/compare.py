@@ -1,0 +1,131 @@
+"""Variant comparison: the question a downstream user actually has —
+"which recovery scheme wins on *my* scenario?" — answered with a
+variants × seeds matrix and replication statistics.
+
+The scenario is any JSON-style spec accepted by
+:mod:`repro.experiments.scenario_file`; the variant of flow 1 (the
+measured flow) is swept, seeds are varied, and per-variant summaries of
+completion time, goodput, retransmissions and timeouts come back with
+confidence intervals.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.replication import Summary, summarize
+from repro.experiments.scenario_file import run_scenario
+from repro.metrics.throughput import effective_throughput_bps
+from repro.viz.ascii import format_table
+
+
+@dataclass
+class ComparisonConfig:
+    """A comparison campaign.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario spec (see ``scenario_file``).  Flow 1 must be bounded
+        (``packets``) — its completion time is the primary metric.
+    variants:
+        Variants to sweep into flow 1.
+    seeds:
+        Seeds; each (variant, seed) pair is one run.
+    """
+
+    scenario: Dict[str, Any]
+    variants: Sequence[str] = ("newreno", "sack", "rr")
+    seeds: Sequence[int] = (1, 2, 3, 4, 5)
+    confidence: float = 0.95
+
+
+@dataclass
+class ComparisonResult:
+    config: ComparisonConfig
+    # variant -> metric name -> Summary
+    summaries: Dict[str, Dict[str, Summary]] = field(default_factory=dict)
+
+    def metric(self, variant: str, name: str) -> Summary:
+        return self.summaries[variant][name]
+
+    def ranking(self, metric: str = "complete_time", lower_is_better: bool = True):
+        """Variants ordered best-first by the metric's mean."""
+        ordered = sorted(
+            self.summaries,
+            key=lambda v: self.summaries[v][metric].mean,
+            reverse=not lower_is_better,
+        )
+        return ordered
+
+
+def _one_run(spec: Dict[str, Any], variant: str, seed: int) -> Dict[str, float]:
+    run_spec = copy.deepcopy(spec)
+    run_spec["seed"] = seed
+    run_spec["flows"][0]["variant"] = variant
+    scenario = run_scenario(run_spec)
+    sender, stats = scenario.flow(1)
+    if not sender.completed:
+        raise ConfigurationError(
+            f"flow 1 ({variant}, seed {seed}) did not finish within the"
+            f" scenario duration — raise 'duration' or shrink 'packets'"
+        )
+    return {
+        "complete_time": sender.complete_time,
+        "goodput_bps": effective_throughput_bps(stats),
+        "retransmits": float(sender.retransmits),
+        "timeouts": float(sender.timeouts),
+        "drops": float(stats.drops_observed),
+    }
+
+
+def compare_variants(config: ComparisonConfig) -> ComparisonResult:
+    """Run the matrix and summarise per variant."""
+    flows = config.scenario.get("flows") or []
+    if not flows or "packets" not in flows[0]:
+        raise ConfigurationError(
+            "comparison scenarios need a bounded flow 1 ('packets')"
+        )
+    if not config.variants or not config.seeds:
+        raise ConfigurationError("need at least one variant and one seed")
+    result = ComparisonResult(config=config)
+    for variant in config.variants:
+        collected: Dict[str, List[float]] = {}
+        for seed in config.seeds:
+            metrics = _one_run(config.scenario, variant, seed)
+            for key, value in metrics.items():
+                collected.setdefault(key, []).append(value)
+        result.summaries[variant] = {
+            key: summarize(values, config.confidence)
+            for key, values in collected.items()
+        }
+    return result
+
+
+def format_comparison(result: ComparisonResult) -> str:
+    """Render the campaign as an aligned table, best variant first."""
+    order = result.ranking()
+    rows = []
+    for variant in order:
+        metrics = result.summaries[variant]
+        rows.append(
+            [
+                variant,
+                f"{metrics['complete_time'].mean:.2f} ± {metrics['complete_time'].ci_half_width:.2f}",
+                f"{metrics['goodput_bps'].mean / 1000:.0f}",
+                f"{metrics['retransmits'].mean:.1f}",
+                f"{metrics['timeouts'].mean:.1f}",
+                f"{metrics['drops'].mean:.1f}",
+            ]
+        )
+    n = len(result.config.seeds)
+    header = (
+        f"variant comparison over {n} seeds"
+        f" (flow 1 of the scenario; best completion time first)\n"
+    )
+    return header + format_table(
+        ["variant", "done at s", "goodput kbps", "rtx", "RTOs", "drops"], rows
+    )

@@ -1,0 +1,6 @@
+"""Application layer: traffic sources driving the TCP agents."""
+
+from repro.app.ftp import FtpSource
+from repro.app.workload import OnOffSource, PoissonTransfers, TransferRecord
+
+__all__ = ["FtpSource", "PoissonTransfers", "OnOffSource", "TransferRecord"]

@@ -1,0 +1,6 @@
+"""The paper's primary contribution: the Robust Recovery (RR) TCP
+congestion-recovery algorithm (Wang & Shin, ICDCS 2001)."""
+
+from repro.core.robust_recovery import RobustRecoverySender, RrPhase
+
+__all__ = ["RobustRecoverySender", "RrPhase"]

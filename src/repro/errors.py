@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency detected by the discrete-event engine."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled into the past or re-used after firing."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration passed to a component."""
+
+
+class TopologyError(ReproError):
+    """A topology/routing problem: unknown node, unreachable destination."""
+
+
+class ProtocolError(ReproError):
+    """A TCP state-machine invariant was violated (indicates a bug)."""

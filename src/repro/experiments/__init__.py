@@ -1,0 +1,48 @@
+"""Experiment harnesses: one module per table/figure of the paper's
+evaluation, plus extension studies (ACK loss, ablations).
+
+Every harness exposes:
+
+* a ``*Config`` dataclass with the paper's parameters as defaults,
+* a ``run_*`` function returning a structured result object,
+* a ``format_report`` function rendering the paper-vs-measured rows,
+
+and is runnable from the command line via ``python -m repro.experiments
+<id>`` (see :mod:`repro.experiments.cli`).
+"""
+
+from repro.experiments.common import ScenarioResult, build_dumbbell_scenario
+from repro.experiments.figure5 import Figure5Config, run_figure5
+from repro.experiments.figure6 import Figure6Config, run_figure6
+from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.experiments.table5 import Table5Config, run_table5
+from repro.experiments.ackloss import AckLossConfig, run_ackloss
+from repro.experiments.ablation import AblationConfig, run_ablation
+from repro.experiments.replication import Summary, format_summaries, replicate, summarize
+from repro.experiments.vegas_decomposition import (
+    VegasDecompositionConfig,
+    run_vegas_decomposition,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "build_dumbbell_scenario",
+    "Figure5Config",
+    "run_figure5",
+    "Figure6Config",
+    "run_figure6",
+    "Figure7Config",
+    "run_figure7",
+    "Table5Config",
+    "run_table5",
+    "AckLossConfig",
+    "run_ackloss",
+    "AblationConfig",
+    "run_ablation",
+    "Summary",
+    "summarize",
+    "replicate",
+    "format_summaries",
+    "VegasDecompositionConfig",
+    "run_vegas_decomposition",
+]

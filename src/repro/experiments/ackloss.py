@@ -1,0 +1,145 @@
+"""Extension experiment: the effect of ACK losses (paper Section 2.3).
+
+RR relies on returning duplicate ACKs to clock out new data during
+recovery, so the paper argues:
+
+* rare ACK losses cause only a *linear* slowdown — an ACK loss makes
+  ``ndup`` undercount, which RR reads as a further data loss and
+  answers with a linear ``actnum`` shrink (never a multiplicative cut);
+* New-Reno is hit harder (its inflated-window arithmetic starves);
+* SACK is the least vulnerable but still times out if the ACK of a
+  retransmission is lost.
+
+This harness injects i.i.d. ACK losses on the reverse bottleneck path
+at increasing rates while the forward path engineers a 4-drop burst,
+then reports goodput and timeout counts per scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.config import TcpConfig
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.metrics.throughput import goodput_bps
+from repro.net.loss import AckLoss, DeterministicLoss
+from repro.net.topology import DumbbellParams
+from repro.sim.rng import RngStream
+from repro.viz.ascii import format_table
+
+
+@dataclass
+class AckLossConfig:
+    """Knobs for the ACK-loss study."""
+
+    variants: Sequence[str] = ("newreno", "sack", "rr")
+    ack_loss_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2)
+    burst_drops: int = 4
+    first_drop_seq: int = 100
+    transfer_packets: int = 600
+    measure_seconds: float = 4.0
+    seed: int = 23
+    runs_per_point: int = 3
+    sim_duration: float = 120.0
+
+
+@dataclass
+class AckLossRow:
+    variant: str
+    ack_loss_rate: float
+    goodput_bps: float
+    timeouts: float
+    completed_ratio: float
+
+
+@dataclass
+class AckLossResult:
+    config: AckLossConfig
+    rows: List[AckLossRow] = field(default_factory=list)
+
+
+def run_point(variant: str, ack_rate: float, config: AckLossConfig) -> AckLossRow:
+    goodputs, timeouts, completions = [], [], []
+    for run in range(config.runs_per_point):
+        rng = RngStream(config.seed + run, f"ackloss-{variant}-{ack_rate}")
+        forward = DeterministicLoss(
+            [(1, config.first_drop_seq + i) for i in range(config.burst_drops)]
+        )
+        reverse = AckLoss(rate=ack_rate, rng=rng)
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant=variant, amount_packets=config.transfer_packets)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+            default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+            forward_loss=forward,
+            reverse_loss=reverse,
+        )
+        scenario.sim.run(until=config.sim_duration)
+        sender, stats = scenario.flow(1)
+        # Goodput over a fixed window starting at the engineered burst.
+        t_loss = next(
+            (t for t, _, retransmit in stats.send_series if retransmit), None
+        )
+        if t_loss is None:
+            t_loss = 0.0
+        goodputs.append(
+            goodput_bps(stats, t_loss, t_loss + config.measure_seconds)
+        )
+        timeouts.append(sender.timeouts)
+        completions.append(1.0 if sender.completed else 0.0)
+    n = len(goodputs)
+    return AckLossRow(
+        variant=variant,
+        ack_loss_rate=ack_rate,
+        goodput_bps=sum(goodputs) / n,
+        timeouts=sum(timeouts) / n,
+        completed_ratio=sum(completions) / n,
+    )
+
+
+def run_ackloss(config: Optional[AckLossConfig] = None) -> AckLossResult:
+    config = config or AckLossConfig()
+    result = AckLossResult(config=config)
+    for variant in config.variants:
+        for rate in config.ack_loss_rates:
+            result.rows.append(run_point(variant, rate, config))
+    return result
+
+
+def format_report(result: AckLossResult) -> str:
+    config = result.config
+    lines = [
+        "Section 2.3 extension — robustness to ACK losses",
+        f"(engineered {config.burst_drops}-drop burst + i.i.d. reverse-path ACK"
+        f" loss; goodput over {config.measure_seconds:.0f}s from loss detection)",
+        "",
+    ]
+    rows = []
+    for rate in config.ack_loss_rates:
+        row: List[object] = [f"{rate * 100:.0f}%"]
+        for variant in config.variants:
+            cell = next(
+                r for r in result.rows
+                if r.variant == variant and r.ack_loss_rate == rate
+            )
+            row.append(f"{cell.goodput_bps / 1000:.0f}")
+            row.append(f"{cell.timeouts:.1f}")
+        rows.append(row)
+    headers: List[str] = ["ACK loss"]
+    for variant in config.variants:
+        headers += [f"{variant} kbps", f"{variant} RTOs"]
+    lines.append(format_table(headers, rows))
+    lines.append("")
+    lines.append(
+        "paper shape: RR degrades gracefully (linear shrink on false further-loss"
+        " signals) and keeps outperforming New-Reno as ACK loss grows."
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(format_report(run_ackloss()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

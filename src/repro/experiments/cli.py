@@ -1,0 +1,152 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``.
+
+Experiment ids match DESIGN.md's experiment index: fig5, fig6, fig7,
+table5, plus the extension studies (ackloss, ablation, vegas, burst),
+or ``all``.  ``--quick`` shrinks sweeps for smoke runs; ``--out DIR``
+additionally writes each report to ``DIR/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments import (
+    ablation,
+    ackloss,
+    burstchannel,
+    figure5,
+    figure6,
+    figure7,
+    table5,
+    vegas_decomposition,
+)
+
+
+def _run_fig5(quick: bool):
+    config = figure5.Figure5Config()
+    if quick:
+        config.transfer_packets = 300
+        config.sim_duration = 30.0
+    result = figure5.run_figure5(config)
+    return figure5.format_report(result), result, "fig5"
+
+
+def _run_fig6(quick: bool):
+    config = figure6.Figure6Config()
+    if quick:
+        config.duration = 3.0
+    result = figure6.run_figure6(config)
+    return figure6.format_report(result, plots=not quick), result, "fig6"
+
+
+def _run_fig7(quick: bool):
+    config = figure7.Figure7Config()
+    if quick:
+        config.loss_rates = (0.01, 0.05, 0.1)
+        config.duration = 30.0
+        config.runs_per_point = 1
+    result = figure7.run_figure7(config)
+    return figure7.format_report(result, plot=not quick), result, "fig7"
+
+
+def _run_table5(quick: bool):
+    config = table5.Table5Config()
+    if quick:
+        config.sim_duration = 90.0
+        config.runs_per_case = 2
+    result = table5.run_table5(config)
+    return table5.format_report(result), result, "table5"
+
+
+def _run_burst(quick: bool):
+    config = burstchannel.BurstChannelConfig()
+    if quick:
+        config.runs_per_point = 1
+        config.transfer_packets = 200
+    result = burstchannel.run_burstchannel(config)
+    return burstchannel.format_report(result), result, "burst"
+
+
+def _run_ackloss(quick: bool):
+    config = ackloss.AckLossConfig()
+    if quick:
+        config.ack_loss_rates = (0.0, 0.1)
+        config.runs_per_point = 1
+        config.sim_duration = 30.0
+    return ackloss.format_report(ackloss.run_ackloss(config)), None, None
+
+
+def _run_ablation(quick: bool):
+    config = ablation.AblationConfig()
+    if quick:
+        config.transfer_packets = 300
+        config.sim_duration = 30.0
+    return ablation.format_report(ablation.run_ablation(config)), None, None
+
+
+def _run_vegas(quick: bool):
+    config = vegas_decomposition.VegasDecompositionConfig()
+    if quick:
+        config.transfer_packets = 200
+        config.sim_duration = 60.0
+    return vegas_decomposition.format_report(
+        vegas_decomposition.run_vegas_decomposition(config)
+    ), None, None
+
+
+EXPERIMENTS = {
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "table5": _run_table5,
+    "ackloss": _run_ackloss,
+    "ablation": _run_ablation,
+    "vegas": _run_vegas,
+    "burst": _run_burst,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of 'Robust TCP Congestion"
+        " Recovery' (Wang & Shin, ICDCS 2001).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id from DESIGN.md",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweeps for a fast smoke run"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write each report to DIR/<id>.txt",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        report, result, export_id = EXPERIMENTS[name](args.quick)
+        print(f"===== {name} =====")
+        print(report)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(report + "\n")
+            if result is not None and export_id is not None:
+                from repro.experiments.export_results import export_result
+
+                export_result(export_id, result, out_dir)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Multi-seed replication: run a seeded scenario across seeds and
+summarise with mean / standard deviation / a normal-approximation
+confidence interval.
+
+The RED and random-loss experiments are stochastic; single-seed numbers
+(which the paper reports) can mislead.  ``replicate`` is the harness
+the benches use to state results as ``mean ± half-width``.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+# two-sided z quantiles for the usual confidence levels
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate of one metric across seeds."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci_half_width: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} ± {self.ci_half_width:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Summarise raw values; CI uses the normal approximation (fine for
+    the n >= 5 replications the harnesses run)."""
+    xs = [float(v) for v in values]
+    if not xs:
+        raise ValueError("summarize() needs at least one value")
+    mean = statistics.fmean(xs)
+    stdev = statistics.stdev(xs) if len(xs) > 1 else 0.0
+    z = _Z.get(confidence)
+    if z is None:
+        raise ValueError(f"unsupported confidence level {confidence}")
+    half = z * stdev / math.sqrt(len(xs)) if len(xs) > 1 else 0.0
+    return Summary(
+        n=len(xs),
+        mean=mean,
+        stdev=stdev,
+        ci_half_width=half,
+        minimum=min(xs),
+        maximum=max(xs),
+    )
+
+
+def replicate(
+    run: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Dict[str, Summary]:
+    """Run ``run(seed)`` for every seed and summarise each metric.
+
+    ``run`` returns a flat dict of metric name -> value; every seed
+    must return the same keys.
+    """
+    if not seeds:
+        raise ValueError("replicate() needs at least one seed")
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        metrics = run(seed)
+        if not collected:
+            collected = {key: [] for key in metrics}
+        if set(metrics) != set(collected):
+            raise ValueError(
+                f"seed {seed} returned keys {sorted(metrics)} != {sorted(collected)}"
+            )
+        for key, value in metrics.items():
+            collected[key].append(float(value))
+    return {key: summarize(values, confidence) for key, values in collected.items()}
+
+
+def format_summaries(summaries: Dict[str, Summary]) -> str:
+    """Readable one-line-per-metric rendering."""
+    width = max(len(k) for k in summaries) if summaries else 0
+    return "\n".join(f"{key.ljust(width)}  {summaries[key]}" for key in sorted(summaries))

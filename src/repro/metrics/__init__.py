@@ -1,0 +1,43 @@
+"""Measurement: per-flow statistics, effective throughput, recovery
+episode analysis, sequence-number time series and fairness indices."""
+
+from repro.metrics.flowstats import FlowStats, RecoveryEpisode
+from repro.metrics.throughput import (
+    effective_throughput_bps,
+    goodput_bps,
+    recovery_span_throughput,
+)
+from repro.metrics.fairness import jain_index
+from repro.metrics.timeseries import SequenceTracer
+from repro.metrics.export import (
+    NsTraceWriter,
+    flow_stats_to_csv,
+    rows_to_csv,
+    rows_to_json,
+)
+from repro.metrics.queuemon import QueueMonitor
+from repro.metrics.utilization import LinkMonitor
+from repro.metrics.sync import (
+    cluster_loss_events,
+    loss_synchronization_index,
+    mean_flows_per_event,
+)
+
+__all__ = [
+    "NsTraceWriter",
+    "flow_stats_to_csv",
+    "rows_to_csv",
+    "rows_to_json",
+    "QueueMonitor",
+    "LinkMonitor",
+    "cluster_loss_events",
+    "loss_synchronization_index",
+    "mean_flows_per_event",
+    "FlowStats",
+    "RecoveryEpisode",
+    "goodput_bps",
+    "effective_throughput_bps",
+    "recovery_span_throughput",
+    "jain_index",
+    "SequenceTracer",
+]

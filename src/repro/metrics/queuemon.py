@@ -1,0 +1,82 @@
+"""Queue occupancy monitoring.
+
+:class:`QueueMonitor` samples a queue's instantaneous length (and the
+RED average where present) on a fixed period — the tool for inspecting
+the bottleneck dynamics behind the paper's drop-tail-vs-RED discussion
+(global synchronization shows up as deep coordinated valleys in the
+occupancy series).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.queues import PacketQueue
+from repro.sim.engine import Simulator
+
+
+class QueueMonitor:
+    """Periodic sampler of one queue's occupancy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: PacketQueue,
+        period: float = 0.01,
+        start_time: float = 0.0,
+    ):
+        if period <= 0:
+            raise ConfigurationError("sampling period must be positive")
+        self.sim = sim
+        self.queue = queue
+        self.period = period
+        self.samples: List[Tuple[float, int]] = []
+        self.avg_samples: List[Tuple[float, float]] = []
+        sim.schedule_at(start_time, self._sample)
+
+    def _sample(self) -> None:
+        self.samples.append((self.sim.now, len(self.queue)))
+        red_avg = getattr(self.queue, "avg", None)
+        if red_avg is not None:
+            self.avg_samples.append((self.sim.now, red_avg))
+        self.sim.schedule(self.period, self._sample)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def mean_occupancy(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(length for _, length in self.samples) / len(self.samples)
+
+    def max_occupancy(self) -> int:
+        return max((length for _, length in self.samples), default=0)
+
+    def utilisation_proxy(self) -> float:
+        """Fraction of samples with a non-empty queue — a rough proxy
+        for how often the output link had work (1.0 = always busy)."""
+        if not self.samples:
+            return 0.0
+        busy = sum(1 for _, length in self.samples if length > 0)
+        return busy / len(self.samples)
+
+    def empty_periods(self, min_duration: float = 0.05) -> List[Tuple[float, float]]:
+        """Contiguous stretches with an empty queue longer than
+        ``min_duration`` — starvation valleys (the signature of global
+        synchronization at a drop-tail bottleneck)."""
+        valleys: List[Tuple[float, float]] = []
+        start: Optional[float] = None
+        for time, length in self.samples:
+            if length == 0:
+                if start is None:
+                    start = time
+            elif start is not None:
+                if time - start >= min_duration:
+                    valleys.append((start, time))
+                start = None
+        if start is not None and self.samples:
+            end = self.samples[-1][0]
+            if end - start >= min_duration:
+                valleys.append((start, end))
+        return valleys

@@ -1,0 +1,71 @@
+"""Global-synchronization metrics.
+
+The paper motivates RED with the classic observation (its ref [22])
+that drop-tail "arbitrarily distribute[s] packet losses among TCP
+connections, leading to global synchronization": many flows lose
+packets in the same buffer-overflow instant, halve together, and leave
+the link idle together.
+
+:func:`loss_synchronization_index` quantifies this directly from
+per-flow drop times: fraction of loss events that hit more than one
+flow within a small window.  0 = perfectly desynchronised losses,
+1 = every loss event is shared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def cluster_loss_events(
+    drop_times_by_flow: Dict[int, Sequence[float]],
+    window: float = 0.05,
+) -> List[Tuple[float, set]]:
+    """Group all flows' drops into loss events.
+
+    Drops closer than ``window`` seconds belong to one event.  Returns
+    ``[(event_start_time, {flow ids hit}), ...]`` in time order.
+    """
+    if window <= 0:
+        raise ConfigurationError("clustering window must be positive")
+    tagged = sorted(
+        (time, flow_id)
+        for flow_id, times in drop_times_by_flow.items()
+        for time in times
+    )
+    events: List[Tuple[float, set]] = []
+    for time, flow_id in tagged:
+        if events and time - events[-1][0] <= window:
+            events[-1][1].add(flow_id)
+        else:
+            events.append((time, {flow_id}))
+    return events
+
+
+def loss_synchronization_index(
+    drop_times_by_flow: Dict[int, Sequence[float]],
+    window: float = 0.05,
+) -> float:
+    """Fraction of loss events striking two or more flows at once.
+
+    Returns 0.0 when there are no loss events at all.
+    """
+    events = cluster_loss_events(drop_times_by_flow, window)
+    if not events:
+        return 0.0
+    shared = sum(1 for _, flows in events if len(flows) >= 2)
+    return shared / len(events)
+
+
+def mean_flows_per_event(
+    drop_times_by_flow: Dict[int, Sequence[float]],
+    window: float = 0.05,
+) -> float:
+    """Average number of distinct flows hit per loss event (1.0 =
+    perfectly desynchronised)."""
+    events = cluster_loss_events(drop_times_by_flow, window)
+    if not events:
+        return 0.0
+    return sum(len(flows) for _, flows in events) / len(events)

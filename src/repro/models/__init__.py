@@ -1,0 +1,19 @@
+"""Analytical TCP throughput models used in Section 4 of the paper."""
+
+from repro.models.mathis import (
+    MATHIS_C_ACK_EVERY_PACKET,
+    mathis_bandwidth_bps,
+    mathis_window,
+)
+from repro.models.padhye import padhye_bandwidth_bps
+from repro.models.fit import estimate_mathis_c, fit_quality, relative_errors
+
+__all__ = [
+    "MATHIS_C_ACK_EVERY_PACKET",
+    "mathis_window",
+    "mathis_bandwidth_bps",
+    "padhye_bandwidth_bps",
+    "estimate_mathis_c",
+    "fit_quality",
+    "relative_errors",
+]

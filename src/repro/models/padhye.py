@@ -1,0 +1,60 @@
+"""The Padhye et al. model (SIGCOMM'98), which Section 4 of the paper
+cites as the more accurate successor of the square-root model: it
+"captures not only the behavior of fast retransmit but also the effect
+of retransmission timeouts upon throughput".
+
+Full-model throughput (packets/second times MSS gives bytes/sec):
+
+                         1
+  B(p) ≈ ---------------------------------------------------------
+         RTT·sqrt(2bp/3) + T0·min(1, 3·sqrt(3bp/8))·p·(1 + 32p²)
+
+where ``b`` is the number of packets acknowledged per ACK (1 here) and
+``T0`` the base retransmission timeout.  The result is additionally
+capped by the receiver window: B ≤ Wmax/RTT.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def padhye_bandwidth_bps(
+    loss_rate: float,
+    rtt: float,
+    rto: float = 1.0,
+    mss_bytes: int = 1000,
+    packets_per_ack: float = 1.0,
+    max_window: float = float("inf"),
+) -> float:
+    """Expected steady-state throughput in bits/second.
+
+    Parameters
+    ----------
+    loss_rate:
+        Packet loss probability ``p`` in (0, 1].
+    rtt:
+        Round-trip time, seconds.
+    rto:
+        Base retransmission timeout ``T0``, seconds.
+    mss_bytes:
+        Segment size.
+    packets_per_ack:
+        ``b`` in the model (1 with ACK-per-packet receivers).
+    max_window:
+        Receiver window cap ``Wmax`` in packets.
+    """
+    p = loss_rate
+    if not 0.0 < p <= 1.0:
+        raise ConfigurationError(f"loss rate must be in (0, 1], got {p}")
+    if rtt <= 0 or rto <= 0:
+        raise ConfigurationError("rtt and rto must be positive")
+    b = packets_per_ack
+    denominator = rtt * math.sqrt(2.0 * b * p / 3.0) + rto * min(
+        1.0, 3.0 * math.sqrt(3.0 * b * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    rate_pps = 1.0 / denominator
+    rate_pps = min(rate_pps, max_window / rtt)
+    return rate_pps * mss_bytes * 8.0

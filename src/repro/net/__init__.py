@@ -1,0 +1,68 @@
+"""Network substrate: packets, links, queues, loss modules, nodes, topologies.
+
+This subpackage provides the packet-level plumbing the TCP agents run
+over.  The model follows ns-2 closely: unidirectional links with a
+transmission + propagation delay and an ingress queue discipline,
+store-and-forward routers with static shortest-path routing, and hosts
+that deliver packets to per-flow agents.
+"""
+
+from repro.net.packet import ACK, DATA, Packet, SackBlock
+from repro.net.fairqueue import FairQueue
+from repro.net.queues import DropTailQueue, PacketQueue
+from repro.net.red import RedParams, RedQueue
+from repro.net.loss import (
+    AckLoss,
+    Composite,
+    DeterministicLoss,
+    GilbertElliott,
+    LossModule,
+    NoLoss,
+    PeriodicLoss,
+    UniformLoss,
+)
+from repro.net.reorder import (
+    DeterministicReorderer,
+    JitterReorderer,
+    RandomReorderer,
+    Reorderer,
+)
+from repro.net.link import Link
+from repro.net.node import Agent, Host, Node, Router
+from repro.net.network import Network
+from repro.net.parkinglot import ParkingLot, ParkingLotParams
+from repro.net.topology import Dumbbell, DumbbellParams
+
+__all__ = [
+    "ACK",
+    "DATA",
+    "Packet",
+    "SackBlock",
+    "PacketQueue",
+    "DropTailQueue",
+    "FairQueue",
+    "RedParams",
+    "RedQueue",
+    "LossModule",
+    "NoLoss",
+    "UniformLoss",
+    "DeterministicLoss",
+    "GilbertElliott",
+    "PeriodicLoss",
+    "Composite",
+    "AckLoss",
+    "Reorderer",
+    "RandomReorderer",
+    "DeterministicReorderer",
+    "JitterReorderer",
+    "Link",
+    "Node",
+    "Host",
+    "Router",
+    "Agent",
+    "Network",
+    "Dumbbell",
+    "DumbbellParams",
+    "ParkingLot",
+    "ParkingLotParams",
+]

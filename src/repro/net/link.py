@@ -1,0 +1,170 @@
+"""Unidirectional links with transmission + propagation delay.
+
+A link models one output interface: an ingress queue discipline plus a
+transmitter that serves one packet at a time.  A packet of ``size``
+bytes occupies the transmitter for ``size * 8 / bandwidth`` seconds and
+arrives at the far end ``delay`` seconds after transmission completes —
+classic store-and-forward.
+
+An optional :class:`~repro.net.loss.LossModule` sits in front of the
+queue for artificial loss injection ("artificial losses are introduced
+at the gateway R1", paper Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.net.loss import LossModule, NoLoss
+from repro.net.packet import Packet
+from repro.net.queues import PacketQueue
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class Link:
+    """One-way link ``src -> dst``.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    name:
+        Human-readable identifier, e.g. ``"R1->R2"``.
+    bandwidth_bps:
+        Link rate in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    queue:
+        Ingress queue discipline (owned by this link).
+    trace:
+        Optional trace bus; publishes ``link.drop`` / ``link.tx`` records.
+    loss:
+        Optional artificial loss module applied before the queue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bps: float,
+        delay: float,
+        queue: PacketQueue,
+        trace: Optional[TraceBus] = None,
+        loss: Optional[LossModule] = None,
+    ):
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {bandwidth_bps}")
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self._sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.delay = delay
+        self.queue = queue
+        self.trace = trace
+        self.loss = loss or NoLoss()
+        self._dst: Optional["Node"] = None
+        # Optional reordering injector (see repro.net.reorder): adds
+        # per-packet extra propagation delay so later packets overtake.
+        self.reorder = None
+        self._busy = False
+        self._down = False
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+        self.outage_drops = 0
+        # Let RED age its average using this link's packet service time.
+        setter = getattr(queue, "set_mean_packet_time", None)
+        if setter is not None:
+            setter(8.0 * 1000 / bandwidth_bps)
+        queue.on_drop = self._queue_dropped
+
+    def connect(self, dst: "Node") -> None:
+        """Attach the receiving node."""
+        self._dst = dst
+
+    @property
+    def dst(self) -> Optional["Node"]:
+        return self._dst
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet occupies the transmitter."""
+        return self._busy
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Seconds the transmitter is occupied by ``packet``."""
+        return packet.size * 8.0 / self.bandwidth_bps
+
+    # ------------------------------------------------------------------
+    # outages
+    # ------------------------------------------------------------------
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def set_down(self) -> None:
+        """Take the link down: every packet arriving while down is
+        destroyed (a natural generator of loss bursts).  Packets
+        already in the queue or in flight are unaffected."""
+        self._down = True
+
+    def set_up(self) -> None:
+        """Restore the link."""
+        self._down = False
+
+    def schedule_outage(self, start: float, duration: float) -> None:
+        """Convenience: go down at absolute time ``start`` for
+        ``duration`` seconds."""
+        if duration < 0:
+            raise ConfigurationError("outage duration must be >= 0")
+        self._sim.schedule_at(start, self.set_down)
+        self._sim.schedule_at(start + duration, self.set_up)
+
+    def send(self, packet: Packet) -> None:
+        """Entry point: apply outages and loss injection, queue, and
+        start the transmitter if idle."""
+        if self._down:
+            self.outage_drops += 1
+            self._emit("link.injected_drop", packet=packet, reason="outage")
+            return
+        if self.loss.should_drop(packet):
+            self._emit("link.injected_drop", packet=packet)
+            return
+        if self.queue.enqueue(packet) and not self._busy:
+            self._start_transmission()
+
+    def _queue_dropped(self, packet: Packet, reason: str) -> None:
+        self._emit("link.drop", packet=packet, reason=reason, qlen=len(self.queue))
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            return
+        self._busy = True
+        self._sim.schedule(self.transmission_time(packet), self._transmission_done, packet)
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self._busy = False
+        self._emit("link.tx", packet=packet)
+        delay = self.delay
+        if self.reorder is not None:
+            delay += self.reorder.extra_delay(packet)
+        self._sim.schedule(delay, self._deliver, packet)
+        if not self.queue.is_empty:
+            self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
+        if self._dst is None:
+            raise ConfigurationError(f"link {self.name} has no destination node")
+        self._dst.receive(packet)
+
+    def _emit(self, category: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.emit(self._sim.now, category, self.name, **fields)

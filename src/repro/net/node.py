@@ -1,0 +1,116 @@
+"""Nodes: hosts (with protocol agents) and routers (with forwarding tables).
+
+A :class:`Host` owns protocol :class:`Agent` objects keyed by flow id;
+an arriving packet is handed to the agent registered for its flow.  A
+:class:`Router` looks the destination up in its forwarding table and
+pushes the packet onto the corresponding output link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TopologyError
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class Agent:
+    """Base class for protocol endpoints attached to a host.
+
+    Subclasses (TCP senders/receivers, apps) override :meth:`receive`.
+    The host calls :meth:`attach` when the agent is registered.
+    """
+
+    def __init__(self, flow_id: int):
+        self.flow_id = flow_id
+        self.host: Optional["Host"] = None
+
+    def attach(self, host: "Host") -> None:
+        self.host = host
+
+    @property
+    def local_name(self) -> str:
+        if self.host is None:
+            raise TopologyError("agent is not attached to a host")
+        return self.host.name
+
+    def send(self, packet: Packet) -> None:
+        """Hand a packet to the attached host for forwarding."""
+        if self.host is None:
+            raise TopologyError("agent is not attached to a host")
+        self.host.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+
+class Node:
+    """Common behaviour of hosts and routers."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        # next-hop forwarding: destination node name -> output link
+        self.routes: Dict[str, Link] = {}
+        self.packets_received = 0
+
+    def add_route(self, dst_name: str, link: Link) -> None:
+        self.routes[dst_name] = link
+
+    def _forward(self, packet: Packet) -> None:
+        link = self.routes.get(packet.dst)
+        if link is None:
+            raise TopologyError(f"{self.name}: no route to {packet.dst}")
+        link.send(packet)
+
+    def send(self, packet: Packet) -> None:
+        self._forward(packet)
+
+    def receive(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Host(Node):
+    """An end host: terminates flows via registered agents."""
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self._agents: Dict[int, Agent] = {}
+
+    def register(self, agent: Agent) -> None:
+        """Attach ``agent``; packets of its flow id will be delivered
+        to it."""
+        if agent.flow_id in self._agents:
+            raise TopologyError(
+                f"{self.name}: flow {agent.flow_id} already has an agent"
+            )
+        self._agents[agent.flow_id] = agent
+        agent.attach(self)
+
+    def agent_for(self, flow_id: int) -> Agent:
+        try:
+            return self._agents[flow_id]
+        except KeyError:
+            raise TopologyError(f"{self.name}: no agent for flow {flow_id}") from None
+
+    def receive(self, packet: Packet) -> None:
+        self.packets_received += 1
+        if packet.dst != self.name:
+            # Hosts do not forward; a misrouted packet is a topology bug.
+            raise TopologyError(
+                f"host {self.name} received packet destined for {packet.dst}"
+            )
+        self.agent_for(packet.flow_id).receive(packet)
+
+
+class Router(Node):
+    """A store-and-forward router (gateway)."""
+
+    def receive(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self._forward(packet)

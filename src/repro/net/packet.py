@@ -1,0 +1,169 @@
+"""Packet model.
+
+Sequence and acknowledgment numbers are in *packet units* (0-based), the
+ns-2 convention the paper's graphs use ("the new ACK for packet 64").
+An ACK carries the *next expected* packet number, so a duplicate ACK
+repeats the same ``ackno`` and a partial ACK satisfies
+``snd_una < ackno <= recover``.
+
+Data packets default to 1000 bytes and ACKs to 40 bytes, the sizes used
+throughout the paper's evaluation (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+DATA = "data"
+ACK = "ack"
+
+DEFAULT_DATA_BYTES = 1000
+DEFAULT_ACK_BYTES = 40
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SackBlock:
+    """A SACK block: the half-open packet range [start, end) received."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty SACK block [{self.start}, {self.end})")
+
+    def __contains__(self, seqno: int) -> bool:
+        return self.start <= seqno < self.end
+
+    @property
+    def count(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    Attributes
+    ----------
+    kind:
+        ``DATA`` or ``ACK``.
+    flow_id:
+        Identifies the TCP connection the packet belongs to.
+    src, dst:
+        Node names; routers forward on ``dst``.
+    seqno:
+        For DATA: the packet sequence number.  For ACK: unused (0).
+    ackno:
+        For ACK: the next expected packet number (cumulative).
+    size:
+        Bytes on the wire (drives transmission delay).
+    sack_blocks:
+        SACK information (most recently changed block first), empty for
+        non-SACK receivers.
+    ecn_capable:
+        DATA: sender supports ECN (ECT codepoint); an ECN-enabled RED
+        gateway marks such packets instead of dropping them early.
+    ecn_marked:
+        DATA: congestion-experienced mark set by a gateway.
+    ecn_echo:
+        ACK: the receiver is echoing a congestion mark back (ECE).
+    is_retransmit:
+        True when the sender marked this DATA packet as a retransmission
+        (used by Karn's rule and by the trace tooling).
+    sent_at:
+        Time the sender transmitted this copy (stamped by the agent).
+    uid:
+        Globally unique id for this packet instance; retransmissions get
+        fresh uids.
+    """
+
+    kind: str
+    flow_id: int
+    src: str
+    dst: str
+    seqno: int = 0
+    ackno: int = 0
+    size: int = DEFAULT_DATA_BYTES
+    sack_blocks: List[SackBlock] = field(default_factory=list)
+    ecn_capable: bool = False
+    ecn_marked: bool = False
+    ecn_echo: bool = False
+    is_retransmit: bool = False
+    sent_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == DATA
+
+    @property
+    def is_ack(self) -> bool:
+        return self.kind == ACK
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_data:
+            rtx = " rtx" if self.is_retransmit else ""
+            return f"<DATA f{self.flow_id} seq={self.seqno}{rtx} {self.src}->{self.dst}>"
+        sacks = f" sack={[(b.start, b.end) for b in self.sack_blocks]}" if self.sack_blocks else ""
+        return f"<ACK f{self.flow_id} ack={self.ackno}{sacks} {self.src}->{self.dst}>"
+
+
+def data_packet(
+    flow_id: int,
+    src: str,
+    dst: str,
+    seqno: int,
+    size: int = DEFAULT_DATA_BYTES,
+    is_retransmit: bool = False,
+) -> Packet:
+    """Build a DATA packet."""
+    return Packet(
+        kind=DATA,
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        seqno=seqno,
+        size=size,
+        is_retransmit=is_retransmit,
+    )
+
+
+def ack_packet(
+    flow_id: int,
+    src: str,
+    dst: str,
+    ackno: int,
+    size: int = DEFAULT_ACK_BYTES,
+    sack_blocks: Optional[List[SackBlock]] = None,
+) -> Packet:
+    """Build an ACK packet (optionally carrying SACK blocks)."""
+    return Packet(
+        kind=ACK,
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        ackno=ackno,
+        size=size,
+        sack_blocks=list(sack_blocks or ()),
+    )
+
+
+def merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge overlapping/adjacent half-open integer ranges (helper for
+    building SACK blocks from a receiver's out-of-order buffer)."""
+    if not ranges:
+        return []
+    ordered = sorted(ranges)
+    merged = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged

@@ -1,0 +1,167 @@
+"""Random Early Detection (RED) gateway.
+
+Implements the algorithm of Floyd & Jacobson, "Random Early Detection
+Gateways for Congestion Avoidance" (ToN 1993), which the paper uses for
+the Figure 6 experiments:
+
+* exponentially weighted moving average of the instantaneous queue
+  length, with the idle-period adjustment (the average decays while the
+  link sits empty as if small packets had been arriving);
+* for ``min_th <= avg < max_th`` the packet is dropped with probability
+  ``p_a = p_b / (1 - count * p_b)`` where ``p_b = max_p * (avg - min_th)
+  / (max_th - min_th)`` and ``count`` is the number of packets accepted
+  since the last drop — this spreads drops out and avoids bursts of
+  drops against a single connection;
+* for ``avg >= max_th`` every packet is dropped;
+* a physical buffer overflow always drops.
+
+The paper's configuration (Table 4): min_th 5, max_th 20, max_p 0.02,
+w_q 0.002, buffer 25 packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.queues import PacketQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+@dataclass(frozen=True)
+class RedParams:
+    """RED gateway parameters (defaults = paper Table 4)."""
+
+    min_th: float = 5.0
+    max_th: float = 20.0
+    max_p: float = 0.02
+    weight: float = 0.002
+    limit: int = 25
+    # Mean packet transmission time used by the idle adjustment.  When 0
+    # the queue derives it from the link on attach.
+    mean_pkt_time: float = 0.0
+    # Mark ECN-capable packets instead of early-dropping them
+    # (RFC 3168-style); forced and overflow drops still drop.
+    ecn: bool = False
+    # "Gentle" RED (Floyd, 2000): between max_th and 2*max_th the drop
+    # probability ramps linearly from max_p to 1 instead of jumping to
+    # a forced drop — far less sensitive to max_p mistuning.
+    gentle: bool = False
+
+    def validate(self) -> None:
+        if not 0 < self.weight <= 1:
+            raise ConfigurationError(f"RED weight must be in (0, 1], got {self.weight}")
+        if self.min_th < 0 or self.max_th <= self.min_th:
+            raise ConfigurationError(
+                f"RED thresholds must satisfy 0 <= min_th < max_th, got {self.min_th}, {self.max_th}"
+            )
+        if not 0 < self.max_p <= 1:
+            raise ConfigurationError(f"RED max_p must be in (0, 1], got {self.max_p}")
+        if self.limit < 1:
+            raise ConfigurationError("RED limit must be >= 1")
+
+
+class RedQueue(PacketQueue):
+    """RED queue discipline.
+
+    Parameters
+    ----------
+    sim:
+        Needed for the idle-time average adjustment.
+    params:
+        :class:`RedParams`.
+    rng:
+        Random stream for the early-drop coin flips.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: RedParams,
+        rng: RngStream,
+        name: str = "red",
+    ):
+        params.validate()
+        super().__init__(limit=params.limit, name=name)
+        self._sim = sim
+        self.params = params
+        self._rng = rng
+        self.avg = 0.0
+        self._count = -1  # packets since last drop; -1 = below min_th
+        self._idle_since = sim.now  # link idle start time (queue empty)
+        self._mean_pkt_time = params.mean_pkt_time or 0.01
+        self.early_drops = 0
+        self.forced_drops = 0
+        self.overflow_drops = 0
+        self.ecn_marks = 0
+
+    def set_mean_packet_time(self, seconds: float) -> None:
+        """Set the typical transmission time used to age ``avg`` over
+        idle periods (the owning link calls this on attach)."""
+        if seconds > 0:
+            self._mean_pkt_time = seconds
+
+    def _update_average(self) -> None:
+        q = len(self._items)
+        w = self.params.weight
+        if q > 0 or self._idle_since is None:
+            self.avg = (1 - w) * self.avg + w * q
+        else:
+            # Idle adjustment: decay avg as if m small packets had arrived
+            # while the queue sat empty.
+            idle = self._sim.now - self._idle_since
+            m = int(idle / self._mean_pkt_time)
+            self.avg *= (1 - w) ** m
+            self.avg = (1 - w) * self.avg  # the arriving packet's update (q == 0)
+
+    def enqueue(self, packet: Packet) -> bool:
+        self._update_average()
+        self._idle_since = None
+        p = self.params
+        if len(self._items) >= self.limit:
+            self.overflow_drops += 1
+            self._count = 0
+            return self._drop(packet, "overflow")
+        if p.gentle and p.max_th <= self.avg < 2 * p.max_th:
+            # Gentle region: ramp from max_p to 1 over [max_th, 2max_th].
+            self._count += 1
+            pb = p.max_p + (1.0 - p.max_p) * (self.avg - p.max_th) / p.max_th
+            denom = 1.0 - self._count * pb
+            pa = 1.0 if denom <= 0 else min(1.0, pb / denom)
+            if self._rng.bernoulli(pa):
+                self._count = 0
+                if p.ecn and packet.ecn_capable:
+                    packet.ecn_marked = True
+                    self.ecn_marks += 1
+                    return self._accept(packet)
+                self.early_drops += 1
+                return self._drop(packet, "early")
+            return self._accept(packet)
+        if self.avg >= (2 * p.max_th if p.gentle else p.max_th):
+            self.forced_drops += 1
+            self._count = 0
+            return self._drop(packet, "forced")
+        if self.avg >= p.min_th:
+            self._count += 1
+            pb = p.max_p * (self.avg - p.min_th) / (p.max_th - p.min_th)
+            denom = 1.0 - self._count * pb
+            pa = 1.0 if denom <= 0 else min(1.0, pb / denom)
+            if self._rng.bernoulli(pa):
+                self._count = 0
+                if p.ecn and packet.ecn_capable:
+                    packet.ecn_marked = True
+                    self.ecn_marks += 1
+                    return self._accept(packet)
+                self.early_drops += 1
+                return self._drop(packet, "early")
+            return self._accept(packet)
+        self._count = -1
+        return self._accept(packet)
+
+    def dequeue(self):
+        packet = super().dequeue()
+        if not self._items:
+            self._idle_since = self._sim.now
+        return packet

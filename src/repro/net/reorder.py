@@ -1,0 +1,122 @@
+"""Packet reordering injection.
+
+Section 2.2.2 of the paper argues RR's accounting survives reordering:
+"out-of-order delivery does not skew the measurement of the number of
+new data packets sent during the last RTT that have been received".
+These modules create the out-of-order deliveries needed to test that
+claim: a reorderer attached to a link adds extra propagation delay to
+selected packets, letting the packets behind them overtake.
+
+Usage::
+
+    bell.forward_link.reorder = RandomReorderer(rng, probability=0.05)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.sim.rng import RngStream
+
+
+class Reorderer:
+    """Base: decides per packet how much extra latency to add."""
+
+    def __init__(self) -> None:
+        self.reordered = 0
+
+    def extra_delay(self, packet: Packet) -> float:
+        raise NotImplementedError
+
+    def _record(self, delay: float) -> float:
+        self.reordered += 1
+        return delay
+
+
+class RandomReorderer(Reorderer):
+    """Delay DATA packets i.i.d. with probability ``probability`` by
+    ``delay`` seconds (set ``delay`` larger than the packet service
+    time so the following packet genuinely overtakes)."""
+
+    def __init__(
+        self,
+        rng: RngStream,
+        probability: float,
+        delay: float = 0.02,
+        flow_id: Optional[int] = None,
+    ):
+        super().__init__()
+        if not 0 <= probability <= 1:
+            raise ConfigurationError(f"probability must be in [0, 1], got {probability}")
+        if delay < 0:
+            raise ConfigurationError("reorder delay must be >= 0")
+        self._rng = rng
+        self.probability = probability
+        self.delay = delay
+        self.flow_id = flow_id
+
+    def extra_delay(self, packet: Packet) -> float:
+        if not packet.is_data:
+            return 0.0
+        if self.flow_id is not None and packet.flow_id != self.flow_id:
+            return 0.0
+        if self._rng.bernoulli(self.probability):
+            return self._record(self.delay)
+        return 0.0
+
+
+class JitterReorderer(Reorderer):
+    """Uniform random per-packet extra latency in [0, max_jitter].
+
+    Small jitter models path-delay variance (it inflates the sender's
+    RTTVAR and hence its RTO); jitter larger than the packet service
+    time additionally reorders.  Applies to DATA packets by default;
+    set ``include_acks`` to jitter the ACK path too.
+    """
+
+    def __init__(
+        self,
+        rng: RngStream,
+        max_jitter: float,
+        flow_id: Optional[int] = None,
+        include_acks: bool = False,
+    ):
+        super().__init__()
+        if max_jitter < 0:
+            raise ConfigurationError("max_jitter must be >= 0")
+        self._rng = rng
+        self.max_jitter = max_jitter
+        self.flow_id = flow_id
+        self.include_acks = include_acks
+
+    def extra_delay(self, packet: Packet) -> float:
+        if packet.is_ack and not self.include_acks:
+            return 0.0
+        if self.flow_id is not None and packet.flow_id != self.flow_id:
+            return 0.0
+        if self.max_jitter == 0:
+            return 0.0
+        return self._record(self._rng.uniform(0.0, self.max_jitter))
+
+
+class DeterministicReorderer(Reorderer):
+    """Delay the listed ``(flow_id, seqno)`` DATA packets on their
+    first pass (retransmissions travel normally)."""
+
+    def __init__(self, targets: Iterable[Tuple[int, int]], delay: float = 0.02):
+        super().__init__()
+        if delay < 0:
+            raise ConfigurationError("reorder delay must be >= 0")
+        self._pending: Set[Tuple[int, int]] = set(targets)
+        self.delay = delay
+
+    def extra_delay(self, packet: Packet) -> float:
+        if not packet.is_data or packet.is_retransmit:
+            return 0.0
+        key = (packet.flow_id, packet.seqno)
+        if key in self._pending:
+            self._pending.discard(key)
+            return self._record(self.delay)
+        return 0.0

@@ -1,0 +1,15 @@
+"""Discrete-event simulation core.
+
+This subpackage is the substrate everything else runs on: a heap-based event
+scheduler (:class:`~repro.sim.engine.Simulator`), cancellable/restartable
+timers (:class:`~repro.sim.timers.Timer`), seeded random-number streams
+(:class:`~repro.sim.rng.RngStream`), and a lightweight trace bus
+(:class:`~repro.sim.tracing.TraceBus`).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStream
+from repro.sim.timers import Timer
+from repro.sim.tracing import TraceBus, TraceRecord
+
+__all__ = ["Event", "Simulator", "Timer", "RngStream", "TraceBus", "TraceRecord"]

@@ -1,0 +1,183 @@
+"""Heap-based discrete-event simulation engine.
+
+The engine is deliberately minimal and deterministic:
+
+* Events scheduled for the same instant fire in the order they were
+  scheduled (FIFO tie-break via a monotonically increasing serial number).
+* Events are cancellable; cancellation is O(1) (lazy deletion).
+* The engine never advances time backwards and refuses to schedule into
+  the past, so component code can rely on causality.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(1.0, lambda: fired.append("a"))
+>>> _ = sim.schedule(0.5, lambda: fired.append("b"))
+>>> sim.run()
+>>> fired
+['b', 'a']
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code only
+    needs :meth:`cancel` and the read-only properties.
+    """
+
+    __slots__ = ("time", "serial", "fn", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, serial: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.serial = serial
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callback has run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; cancelling an
+        already-fired event is a no-op."""
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.serial) < (other.time, other.serial)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"Event(t={self.time:.6f}, serial={self.serial}, {state})"
+
+
+class Simulator:
+    """A discrete-event simulator with deterministic ordering.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation clock value (seconds).  Defaults to 0.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._serial = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including lazily cancelled ones)."""
+        return sum(1 for e in self._heap if e.pending)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled before it fires.
+        Raises :class:`SchedulingError` for negative delays.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._serial), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        return self.schedule(time - self._now, fn, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0]._cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns True if an event fired, False if the queue was empty.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        if event.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"event time {event.time} precedes clock {self._now}"
+            )
+        self._now = event.time
+        event._fired = True
+        self._events_processed += 1
+        event.fn(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if no event lands on it, so back-to-back ``run`` calls resume
+        cleanly.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    return
+                self._drop_cancelled()
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0].time > until:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+
+    def clear(self) -> None:
+        """Drop all pending events (they are marked cancelled)."""
+        for event in self._heap:
+            event.cancel()
+        self._heap.clear()

@@ -1,0 +1,63 @@
+"""Seeded random-number streams.
+
+Every stochastic component (RED gateway, random-loss module, jittered
+start times) takes its own :class:`RngStream`, derived from a root seed
+plus a component name.  This keeps runs reproducible *and* keeps
+components statistically independent: adding a new consumer of
+randomness does not perturb the draws other components see.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Iterable, List
+
+
+class RngStream:
+    """An independently seeded wrapper over :class:`random.Random`."""
+
+    def __init__(self, root_seed: int, name: str = ""):
+        self._root_seed = root_seed
+        self._name = name
+        # Mix the name into the seed so streams with the same root seed
+        # but different names are decorrelated.
+        mixed = (root_seed * 0x9E3779B1 + zlib.crc32(name.encode("utf-8"))) & 0xFFFFFFFF
+        self._rng = random.Random(mixed)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def substream(self, name: str) -> "RngStream":
+        """Derive a child stream, e.g. per flow or per queue."""
+        return RngStream(self._root_seed, f"{self._name}/{name}")
+
+    def uniform(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def expovariate(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def choice(self, seq):
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq: List) -> None:
+        self._rng.shuffle(seq)
+
+    def sample(self, population: Iterable, k: int):
+        return self._rng.sample(list(population), k)
+
+    def bernoulli(self, p: float) -> bool:
+        """One biased coin flip (True with probability ``p``)."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self._rng.random() < p

@@ -1,0 +1,82 @@
+"""Cancellable, restartable timers on top of the event engine.
+
+TCP needs a retransmission timer that is constantly restarted as ACKs
+arrive; doing that with raw events invites leaks.  :class:`Timer` wraps
+one logical timer with ``start``/``restart``/``stop`` semantics and an
+optional coarse *granularity* that rounds expirations up to a tick
+boundary, mimicking the coarse-grained timers of classic BSD/ns-2 TCP
+implementations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """One restartable timeout.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that provides the clock.
+    callback:
+        Called (with no arguments) when the timer expires.
+    granularity:
+        If > 0, expiration delays are rounded up to the next multiple of
+        this tick (seconds), emulating coarse-grained kernel timers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[], Any],
+        granularity: float = 0.0,
+    ):
+        if granularity < 0:
+            raise ConfigurationError("timer granularity must be >= 0")
+        self._sim = sim
+        self._callback = callback
+        self._granularity = granularity
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """True while the timer is armed."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute expiration time, or None when not armed."""
+        return self._event.time if self.pending else None
+
+    def _quantize(self, delay: float) -> float:
+        if self._granularity <= 0:
+            return delay
+        ticks = math.ceil(delay / self._granularity - 1e-12)
+        return max(1, ticks) * self._granularity
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now.
+
+        Restarting an armed timer cancels the previous expiration.
+        """
+        self.stop()
+        self._event = self._sim.schedule(self._quantize(delay), self._fire)
+
+    # ``restart`` reads better at call sites that always rearm.
+    restart = start
+
+    def stop(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -1,0 +1,75 @@
+"""A lightweight trace bus, the replacement for ns-2 trace files.
+
+Components publish typed trace records (packet enqueued, dropped, ACK
+received, cwnd changed, ...); metrics modules subscribe by category.
+Tracing is pay-for-what-you-use: with no subscribers a publish is one
+dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, DefaultDict, Dict, List
+from collections import defaultdict
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time the event occurred.
+    category:
+        Dotted category string, e.g. ``"queue.drop"`` or ``"tcp.cwnd"``.
+    source:
+        Name of the emitting component.
+    fields:
+        Category-specific payload.
+    """
+
+    time: float
+    category: str
+    source: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class TraceBus:
+    """Publish/subscribe hub for :class:`TraceRecord` objects.
+
+    Subscriptions are exact-category; subscribing to ``"*"`` receives
+    everything.
+    """
+
+    WILDCARD = "*"
+
+    def __init__(self) -> None:
+        self._subscribers: DefaultDict[str, List[Subscriber]] = defaultdict(list)
+
+    def subscribe(self, category: str, fn: Subscriber) -> None:
+        """Register ``fn`` for records of ``category`` (or ``"*"``)."""
+        self._subscribers[category].append(fn)
+
+    def unsubscribe(self, category: str, fn: Subscriber) -> None:
+        """Remove a subscription added with :meth:`subscribe`."""
+        self._subscribers[category].remove(fn)
+
+    def has_subscribers(self, category: str) -> bool:
+        return bool(self._subscribers.get(category) or self._subscribers.get(self.WILDCARD))
+
+    def publish(self, record: TraceRecord) -> None:
+        """Deliver ``record`` to exact-category and wildcard subscribers."""
+        for fn in self._subscribers.get(record.category, ()):
+            fn(record)
+        for fn in self._subscribers.get(self.WILDCARD, ()):
+            fn(record)
+
+    def emit(self, time: float, category: str, source: str, **fields: Any) -> None:
+        """Convenience constructor + publish, skipping record creation
+        entirely when nobody is listening."""
+        if self.has_subscribers(category):
+            self.publish(TraceRecord(time=time, category=category, source=source, fields=fields))

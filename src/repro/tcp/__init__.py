@@ -1,0 +1,51 @@
+"""TCP agents: the sender base machinery, the baseline variants the
+paper compares against (Tahoe, Reno, New-Reno, SACK), two additional
+recovery schemes the paper's introduction discusses (right-edge
+recovery and Lin-Kung), and the receiver side.
+
+The paper's contribution, Robust Recovery, lives in
+:mod:`repro.core.robust_recovery` and plugs into the same base class.
+"""
+
+from repro.tcp.base import SenderObserver, TcpSender
+from repro.tcp.factory import VARIANTS, make_connection, receiver_class_for, sender_class_for
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.receiver import SackReceiver, TcpReceiver
+from repro.tcp.reno import RenoSender
+from repro.tcp.rightedge import LinKungSender, RightEdgeSender
+from repro.tcp.rtt import RtoEstimator
+from repro.tcp.sack import SackRfc3517Sender, SackSender
+from repro.tcp.scoreboard import Scoreboard
+from repro.tcp.smoothstart import (
+    SmoothStartMixin,
+    SmoothStartNewRenoSender,
+    SmoothStartRenoSender,
+    SmoothStartRrSender,
+)
+from repro.tcp.tahoe import TahoeSender
+from repro.tcp.vegas import VegasSender
+
+__all__ = [
+    "TcpSender",
+    "SenderObserver",
+    "TcpReceiver",
+    "SackReceiver",
+    "RtoEstimator",
+    "TahoeSender",
+    "RenoSender",
+    "NewRenoSender",
+    "SackSender",
+    "SackRfc3517Sender",
+    "Scoreboard",
+    "RightEdgeSender",
+    "LinKungSender",
+    "VegasSender",
+    "SmoothStartMixin",
+    "SmoothStartRenoSender",
+    "SmoothStartNewRenoSender",
+    "SmoothStartRrSender",
+    "VARIANTS",
+    "make_connection",
+    "sender_class_for",
+    "receiver_class_for",
+]

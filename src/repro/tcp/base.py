@@ -1,0 +1,439 @@
+"""TCP sender base machinery.
+
+:class:`TcpSender` implements everything the recovery variants share:
+
+* slow start and congestion avoidance (cwnd in packets, ns-2 style);
+* duplicate-ACK counting and the fast-retransmit trigger;
+* RTO management: one retransmission timer, RFC 6298 estimation with
+  Karn's rule (one sample in flight, abandoned if the timed packet is
+  retransmitted), exponential back-off, go-back-N after a timeout;
+* send-window accounting (``snd_una``/``snd_nxt``/``maxseq``), receiver
+  window and application data limits;
+* observer/trace hooks for metrics.
+
+Recovery behaviour is delegated to subclasses through a small set of
+hook methods (``_fast_retransmit``, ``_recovery_dupack``,
+``_recovery_new_ack``, ``_on_timeout_reset``); the base class itself is
+a valid TCP sender only in the loss-free path.
+
+Sequence numbers are packet-based and ``maxseq`` is *one past* the
+highest sequence sent, so ``recover = maxseq`` and "the recovery phase
+ends when snd.una advances to, or beyond, this threshold" (Section 2.2)
+translates to ``ackno >= recover``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import TcpConfig
+from repro.errors import ProtocolError
+from repro.net.node import Agent
+from repro.net.packet import Packet, data_packet
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+from repro.sim.tracing import TraceBus
+from repro.tcp.rtt import RtoEstimator
+
+
+class SenderObserver:
+    """No-op observer; metrics classes override the hooks they need.
+
+    Every hook receives the simulation time first.  ``sender`` is the
+    emitting :class:`TcpSender`.
+    """
+
+    def on_start(self, t: float, sender: "TcpSender") -> None:
+        pass
+
+    def on_send(self, t: float, sender: "TcpSender", seqno: int, retransmit: bool) -> None:
+        pass
+
+    def on_ack(self, t: float, sender: "TcpSender", ackno: int, duplicate: bool) -> None:
+        pass
+
+    def on_cwnd(self, t: float, sender: "TcpSender", cwnd: float) -> None:
+        pass
+
+    def on_timeout(self, t: float, sender: "TcpSender") -> None:
+        pass
+
+    def on_recovery_enter(self, t: float, sender: "TcpSender") -> None:
+        pass
+
+    def on_recovery_exit(self, t: float, sender: "TcpSender") -> None:
+        pass
+
+    def on_complete(self, t: float, sender: "TcpSender") -> None:
+        pass
+
+
+class TcpSender(Agent):
+    """Base TCP sender (slow start + congestion avoidance + RTO).
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    flow_id:
+        Connection identifier shared with the receiver.
+    dst:
+        Destination host name.
+    config:
+        :class:`TcpConfig`; defaults match the paper.
+    observer:
+        Optional :class:`SenderObserver` for metrics.
+    trace:
+        Optional trace bus (publishes ``tcp.*`` records).
+    """
+
+    variant = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        dst: str,
+        config: Optional[TcpConfig] = None,
+        observer: Optional[SenderObserver] = None,
+        trace: Optional[TraceBus] = None,
+    ):
+        super().__init__(flow_id)
+        self.sim = sim
+        self.config = config or TcpConfig()
+        self.config.validate()
+        self.dst = dst
+        self.observer = observer or SenderObserver()
+        self.trace = trace
+
+        # --- window state (packet units) ---
+        self.cwnd: float = self.config.initial_cwnd
+        self.ssthresh: float = self.config.initial_ssthresh
+        self.snd_una: int = 0       # lowest unacknowledged packet
+        self.snd_nxt: int = 0       # next *new* packet to send
+        self.maxseq: int = 0        # one past the highest packet ever sent
+        self.dupacks: int = 0
+        self.in_recovery: bool = False
+        self.recover: int = 0       # recovery exit threshold (ackno units)
+
+        # --- application interface ---
+        self._limit: Optional[int] = None  # total packets to send; None = unbounded
+        self.started = False
+        self.completed = False
+        self.complete_time: Optional[float] = None
+        # Called with the completion time when a bounded transfer is
+        # fully acknowledged (used by app-layer sources).
+        self.completion_callbacks: list = []
+
+        # --- RTO machinery ---
+        self.rto = RtoEstimator(self.config)
+        self._timer = Timer(sim, self._on_timeout, self.config.timer_granularity)
+        self._rtt_seq: Optional[int] = None   # packet being timed (Karn)
+        self._rtt_sent_at: float = 0.0
+
+        # --- counters ---
+        self.packets_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self._last_send_time: Optional[float] = None
+        self.idle_restarts = 0
+
+        # --- ECN (extension; off unless config.ecn_enabled) ---
+        # React to echoed marks at most once per window: ignore echoes
+        # until snd_una passes the marker set at the last reaction.
+        self._ecn_react_marker = 0
+        self.ecn_reactions = 0
+        # RFC 3168: do not also grow cwnd on the ACK carrying the echo.
+        self._suppress_growth = False
+
+    # ------------------------------------------------------------------
+    # application interface
+    # ------------------------------------------------------------------
+    def set_data_limit(self, packets: Optional[int]) -> None:
+        """Bound the transfer to ``packets`` total (None = unbounded)."""
+        if packets is not None and packets < 1:
+            raise ProtocolError("data limit must be >= 1 packet")
+        self._limit = packets
+
+    @property
+    def data_limit(self) -> Optional[int]:
+        return self._limit
+
+    def start(self) -> None:
+        """Begin transmitting (slow start)."""
+        if self.started:
+            return
+        self.started = True
+        self.observer.on_start(self.sim.now, self)
+        self._emit("tcp.start")
+        self.send_available()
+
+    # ------------------------------------------------------------------
+    # window accounting
+    # ------------------------------------------------------------------
+    def flight(self) -> int:
+        """Outstanding packets *at the sender side* (snd_nxt - snd_una).
+
+        As Section 2.1 stresses, during recovery this over-estimates the
+        packets actually in the path; RR replaces it with ``actnum``.
+        """
+        return self.snd_nxt - self.snd_una
+
+    def send_window(self) -> int:
+        """min(cwnd, receiver window), integral packets."""
+        return min(int(self.cwnd), self.config.receiver_window)
+
+    def data_available(self) -> bool:
+        """True while the application has unsent data."""
+        return self._limit is None or self.snd_nxt < self._limit
+
+    def can_send_new(self) -> bool:
+        return self.data_available() and self.flight() < self.send_window()
+
+    def send_available(self, max_packets: Optional[int] = None) -> int:
+        """Send as much new data as the window (and ``max_packets``)
+        permits.  Returns the number of packets sent."""
+        self._maybe_slow_start_restart()
+        sent = 0
+        while self.can_send_new():
+            if max_packets is not None and sent >= max_packets:
+                break
+            self._send_new()
+            sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def _maybe_slow_start_restart(self) -> None:
+        """RFC 2581 §4.1 (optional): an idle period longer than one RTO
+        invalidates the old cwnd — restart from the initial window."""
+        if not self.config.slow_start_restart:
+            return
+        if (
+            self._last_send_time is not None
+            and self.flight() == 0
+            and self.sim.now - self._last_send_time > self.rto.current()
+            and self.cwnd > self.config.initial_cwnd
+        ):
+            self.cwnd = self.config.initial_cwnd
+            self.idle_restarts += 1
+            self._note_cwnd()
+
+    def _send_new(self) -> None:
+        """Transmit the packet at ``snd_nxt`` (new data, or the next
+        go-back-N resend after a timeout when snd_nxt < maxseq)."""
+        seqno = self.snd_nxt
+        retransmit = seqno < self.maxseq
+        self.snd_nxt += 1
+        self.maxseq = max(self.maxseq, self.snd_nxt)
+        self._transmit(seqno, retransmit)
+
+    def _retransmit(self, seqno: int) -> None:
+        """Retransmit ``seqno`` without touching snd_nxt."""
+        if not self.snd_una <= seqno < self.maxseq:
+            raise ProtocolError(
+                f"retransmit of {seqno} outside [{self.snd_una}, {self.maxseq})"
+            )
+        self._transmit(seqno, retransmit=True)
+
+    def _transmit(self, seqno: int, retransmit: bool) -> None:
+        packet = data_packet(
+            self.flow_id,
+            self.local_name,
+            self.dst,
+            seqno,
+            size=self.config.mss_bytes,
+            is_retransmit=retransmit,
+        )
+        packet.ecn_capable = self.config.ecn_enabled
+        now = self.sim.now
+        packet.sent_at = now
+        if retransmit:
+            self.retransmits += 1
+            if self._rtt_seq is not None and seqno == self._rtt_seq:
+                self._rtt_seq = None  # Karn's rule: abandon the sample
+        elif self._rtt_seq is None:
+            self._rtt_seq = seqno
+            self._rtt_sent_at = now
+        self.packets_sent += 1
+        self._last_send_time = now
+        if not self._timer.pending:
+            self._timer.start(self.rto.current())
+        self.observer.on_send(now, self, seqno, retransmit)
+        self._emit("tcp.send", seqno=seqno, retransmit=retransmit)
+        self.send(packet)
+
+    # ------------------------------------------------------------------
+    # ACK dispatch
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_ack or self.completed:
+            return
+        if packet.ecn_echo and self.config.ecn_enabled:
+            self._ecn_reaction()
+            self._suppress_growth = True
+        ackno = packet.ackno
+        if ackno > self.snd_una:
+            self.observer.on_ack(self.sim.now, self, ackno, duplicate=False)
+            self._emit("tcp.ack", ackno=ackno, duplicate=False)
+            self._process_new_ack(packet)
+            self._check_complete()
+        elif ackno == self.snd_una and self.flight() > 0:
+            self.observer.on_ack(self.sim.now, self, ackno, duplicate=True)
+            self._emit("tcp.ack", ackno=ackno, duplicate=True)
+            self._process_dupack(packet)
+        # older ACKs are stale: ignored
+        self._suppress_growth = False
+
+    def _check_complete(self) -> None:
+        if self._limit is not None and self.snd_una >= self._limit and not self.completed:
+            self.completed = True
+            self.complete_time = self.sim.now
+            self._timer.stop()
+            self.observer.on_complete(self.sim.now, self)
+            self._emit("tcp.complete")
+            for callback in self.completion_callbacks:
+                callback(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # common ACK helpers (for subclasses)
+    # ------------------------------------------------------------------
+    def _ack_common(self, ackno: int) -> None:
+        """Advance snd_una, take the RTT sample, manage the timer and
+        reset the dup-ACK counter.  Every new-ACK path calls this."""
+        if self._rtt_seq is not None and ackno > self._rtt_seq:
+            self.rto.on_sample(self.sim.now - self._rtt_sent_at)
+            self._rtt_seq = None
+        self.snd_una = ackno
+        self.snd_nxt = max(self.snd_nxt, ackno)
+        self.dupacks = 0
+        if self.flight() > 0:
+            self._timer.restart(self.rto.current())
+        else:
+            self._timer.stop()
+
+    def _open_cwnd(self) -> None:
+        """Grow cwnd per ACK: slow start below ssthresh, else AIMD."""
+        if self._suppress_growth:
+            self._suppress_growth = False
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += 1.0 / self.cwnd
+        self._note_cwnd()
+
+    def _note_cwnd(self) -> None:
+        self.observer.on_cwnd(self.sim.now, self, self.cwnd)
+        self._emit("tcp.cwnd", cwnd=self.cwnd)
+
+    def _halved_ssthresh(self) -> float:
+        """The standard multiplicative decrease: half the flight size,
+        floored at 2 packets."""
+        return max(self.flight() / 2.0, 2.0)
+
+    # ------------------------------------------------------------------
+    # default new-ACK / dup-ACK processing
+    # ------------------------------------------------------------------
+    def _process_new_ack(self, packet: Packet) -> None:
+        if self.in_recovery:
+            self._recovery_new_ack(packet)
+            return
+        self._ack_common(packet.ackno)
+        self._open_cwnd()
+        self.send_available()
+
+    def _process_dupack(self, packet: Packet) -> None:
+        if self.in_recovery:
+            self._recovery_dupack(packet)
+            return
+        self.dupacks += 1
+        if self.dupacks == self.config.dupack_threshold:
+            self._fast_retransmit(packet)
+
+    # ------------------------------------------------------------------
+    # ECN reaction (extension)
+    # ------------------------------------------------------------------
+    def _ecn_reaction(self) -> None:
+        """Echoed congestion mark: halve the window, loss-free, at most
+        once per window of data (RFC 3168 semantics, simplified)."""
+        if self.in_recovery or self.snd_una < self._ecn_react_marker:
+            return
+        self.ssthresh = self._halved_ssthresh()
+        self.cwnd = max(self.ssthresh, 1.0)
+        self._ecn_react_marker = self.snd_nxt
+        self.ecn_reactions += 1
+        self._note_cwnd()
+        self._emit("tcp.ecn_reaction")
+
+    # ------------------------------------------------------------------
+    # variant hooks
+    # ------------------------------------------------------------------
+    def _fast_retransmit(self, packet: Packet) -> None:
+        """Third duplicate ACK outside recovery.  Variants implement."""
+        raise NotImplementedError("recovery variants must implement _fast_retransmit")
+
+    def _recovery_dupack(self, packet: Packet) -> None:
+        """Duplicate ACK while in recovery.  Variants implement."""
+        raise NotImplementedError
+
+    def _recovery_new_ack(self, packet: Packet) -> None:
+        """New (possibly partial) ACK while in recovery."""
+        raise NotImplementedError
+
+    def _on_timeout_reset(self) -> None:
+        """Variant-specific cleanup when the RTO fires (clear recovery
+        state, scoreboards...).  Default just leaves recovery."""
+        self.in_recovery = False
+
+    def _enter_recovery_common(self) -> None:
+        self.in_recovery = True
+        self.observer.on_recovery_enter(self.sim.now, self)
+        self._emit("tcp.recovery_enter", recover=self.recover)
+
+    def _exit_recovery_common(self) -> None:
+        self.in_recovery = False
+        self.observer.on_recovery_exit(self.sim.now, self)
+        self._emit("tcp.recovery_exit")
+
+    # ------------------------------------------------------------------
+    # timeout
+    # ------------------------------------------------------------------
+    def _on_timeout(self) -> None:
+        if self.completed:
+            return
+        if self.flight() <= 0:
+            return  # nothing outstanding; spurious
+        self.timeouts += 1
+        self.observer.on_timeout(self.sim.now, self)
+        self._emit("tcp.timeout", snd_una=self.snd_una)
+        was_in_recovery = self.in_recovery
+        self.ssthresh = self._halved_ssthresh()
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self._on_timeout_reset()
+        if was_in_recovery and not self.in_recovery:
+            self.observer.on_recovery_exit(self.sim.now, self)
+        # Go-back-N: resume sending from the first unacknowledged packet.
+        self.snd_nxt = self.snd_una
+        self._rtt_seq = None
+        self.rto.backoff()
+        self._timer.start(self.rto.current())
+        self._note_cwnd()
+        self.send_available()
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def _emit(self, category: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, category, f"{self.variant}/f{self.flow_id}", **fields
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} f{self.flow_id} una={self.snd_una} "
+            f"nxt={self.snd_nxt} cwnd={self.cwnd:.2f} rec={self.in_recovery}>"
+        )

@@ -1,0 +1,68 @@
+"""Smooth-start (Wang, Xin, Reeves & Shin, ISCC 2000 — the paper's
+reference [21]).
+
+Classic slow start doubles the window every RTT all the way to
+``ssthresh``; its final doubling can dump ``ssthresh/2`` excess packets
+into a buffer at once, creating exactly the bursty in-window losses the
+RR paper sets out to survive.  Smooth-start is the companion fix on the
+*ramp-up* side — "an optimization of the Slow-start algorithm, which is
+orthogonal to the enhanced recovery schemes" (§1) — and orthogonal is
+taken literally here: :class:`SmoothStartMixin` composes with any
+sender variant.
+
+Mechanism (our documented interpretation of [21]): below
+``ssthresh/2`` the window doubles per RTT as usual; the remaining climb
+to ``ssthresh`` is split into ``smooth_rounds`` sub-phases whose
+per-ACK increment halves each time (1/2, 1/4, ... packets per ACK), so
+the growth flattens smoothly into the congestion-avoidance slope
+instead of slamming into the buffer.
+"""
+
+from __future__ import annotations
+
+from repro.core.robust_recovery import RobustRecoverySender
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.reno import RenoSender
+
+
+class SmoothStartMixin:
+    """Replace the slow-start growth law; everything else untouched."""
+
+    #: number of tapering sub-phases between ssthresh/2 and ssthresh
+    smooth_rounds = 3
+
+    def _open_cwnd(self) -> None:
+        if self.cwnd >= self.ssthresh:
+            super()._open_cwnd()  # congestion avoidance unchanged
+            return
+        half = self.ssthresh / 2.0
+        if self.cwnd < half:
+            self.cwnd += 1.0  # classic exponential region
+            self._note_cwnd()
+            return
+        # Smooth region: pick the sub-phase by how far cwnd has climbed
+        # through [ssthresh/2, ssthresh), increment by 2^-(phase+1).
+        span = self.ssthresh - half
+        progress = min((self.cwnd - half) / span, 0.999) if span > 0 else 0.999
+        phase = int(progress * self.smooth_rounds)
+        self.cwnd = min(self.cwnd + 0.5 ** (phase + 1), self.ssthresh)
+        self._note_cwnd()
+
+
+class SmoothStartRenoSender(SmoothStartMixin, RenoSender):
+    """Reno with smooth-start."""
+
+    variant = "ss-reno"
+
+
+class SmoothStartNewRenoSender(SmoothStartMixin, NewRenoSender):
+    """New-Reno with smooth-start."""
+
+    variant = "ss-newreno"
+
+
+class SmoothStartRrSender(SmoothStartMixin, RobustRecoverySender):
+    """Robust Recovery with smooth-start: reference [21] and this
+    paper's contribution composed, prevention plus cure."""
+
+    variant = "ss-rr"

@@ -1,0 +1,47 @@
+"""TCP Tahoe.
+
+Fast retransmit exists but there is no fast recovery: three duplicate
+ACKs retransmit the lost packet and then the sender behaves exactly as
+after a timeout — ``cwnd`` collapses to one packet and slow start
+rebuilds the window, resending from ``snd_una`` (go-back-N).  The
+paper's Figure 5 shows Tahoe beating New-Reno under heavy bursty loss
+precisely because this blunt reaction resends everything instead of
+stalling.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+from repro.tcp.base import TcpSender
+
+
+class TahoeSender(TcpSender):
+    """Tahoe: fast retransmit + slow start restart."""
+
+    variant = "tahoe"
+
+    def _fast_retransmit(self, packet: Packet) -> None:
+        self.ssthresh = self._halved_ssthresh()
+        self.cwnd = 1.0
+        self._note_cwnd()
+        # Go-back-N from the hole; the retransmission below is the
+        # first packet of the new slow start.
+        self.snd_nxt = self.snd_una
+        self._rtt_seq = None
+        self._timer.restart(self.rto.current())
+        self.send_available()
+
+    def _process_dupack(self, packet: Packet) -> None:
+        self.dupacks += 1
+        # Trigger only on exactly the threshold; later duplicates of the
+        # same window are ignored (Tahoe has no recovery phase).
+        if self.dupacks == self.config.dupack_threshold:
+            self._fast_retransmit(packet)
+
+    # Tahoe never sets in_recovery, so these hooks cannot be reached;
+    # they exist to satisfy the interface.
+    def _recovery_dupack(self, packet: Packet) -> None:  # pragma: no cover
+        raise AssertionError("Tahoe has no recovery phase")
+
+    def _recovery_new_ack(self, packet: Packet) -> None:  # pragma: no cover
+        raise AssertionError("Tahoe has no recovery phase")

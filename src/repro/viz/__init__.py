@@ -1,0 +1,6 @@
+"""Terminal visualization: ASCII scatter plots and aligned tables for
+the experiment harnesses (no plotting dependency required)."""
+
+from repro.viz.ascii import ascii_scatter, ascii_step_series, format_table
+
+__all__ = ["ascii_scatter", "ascii_step_series", "format_table"]

@@ -1,0 +1,83 @@
+"""Tests for the variant-comparison analysis API."""
+
+import pytest
+
+from repro.analysis.compare import (
+    ComparisonConfig,
+    compare_variants,
+    format_comparison,
+)
+from repro.errors import ConfigurationError
+
+SCENARIO = {
+    "topology": {"n_pairs": 1, "buffer_packets": 25},
+    "tcp": {"receiver_window": 64, "initial_ssthresh": 20},
+    "loss": {"kind": "uniform", "rate": 0.02},
+    "flows": [{"variant": "rr", "packets": 150}],
+    "duration": 300.0,
+}
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ComparisonConfig(
+        scenario=SCENARIO, variants=("newreno", "rr"), seeds=(1, 2, 3)
+    )
+    return compare_variants(config)
+
+
+class TestCampaign:
+    def test_all_variants_summarised(self, result):
+        assert set(result.summaries) == {"newreno", "rr"}
+
+    def test_metrics_present(self, result):
+        for variant in ("newreno", "rr"):
+            metrics = result.summaries[variant]
+            assert set(metrics) == {
+                "complete_time", "goodput_bps", "retransmits", "timeouts", "drops",
+            }
+            assert metrics["complete_time"].n == 3
+
+    def test_goodput_positive(self, result):
+        for variant in ("newreno", "rr"):
+            assert result.metric(variant, "goodput_bps").mean > 0
+
+    def test_ranking_orders_by_mean(self, result):
+        order = result.ranking("complete_time")
+        means = [result.metric(v, "complete_time").mean for v in order]
+        assert means == sorted(means)
+
+    def test_ranking_higher_is_better(self, result):
+        order = result.ranking("goodput_bps", lower_is_better=False)
+        means = [result.metric(v, "goodput_bps").mean for v in order]
+        assert means == sorted(means, reverse=True)
+
+    def test_report_renders(self, result):
+        text = format_comparison(result)
+        assert "done at s" in text
+        assert "rr" in text and "newreno" in text
+
+
+class TestValidation:
+    def test_unbounded_flow_rejected(self):
+        bad = dict(SCENARIO)
+        bad["flows"] = [{"variant": "rr"}]
+        with pytest.raises(ConfigurationError):
+            compare_variants(ComparisonConfig(scenario=bad))
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_variants(ComparisonConfig(scenario=SCENARIO, variants=()))
+        with pytest.raises(ConfigurationError):
+            compare_variants(ComparisonConfig(scenario=SCENARIO, seeds=()))
+
+    def test_original_spec_not_mutated(self):
+        spec = {
+            "flows": [{"variant": "rr", "packets": 60}],
+            "duration": 120.0,
+        }
+        compare_variants(
+            ComparisonConfig(scenario=spec, variants=("newreno",), seeds=(1,))
+        )
+        assert spec["flows"][0]["variant"] == "rr"
+        assert "seed" not in spec

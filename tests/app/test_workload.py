@@ -1,0 +1,127 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.app.workload import OnOffSource, PoissonTransfers
+from repro.errors import ConfigurationError
+from repro.net.topology import Dumbbell, DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+from repro.tcp.factory import make_connection
+
+
+def make_world(n_pairs=10, buffer_packets=50):
+    sim = Simulator()
+    bell = Dumbbell(sim, DumbbellParams(n_pairs=n_pairs, buffer_packets=buffer_packets))
+    return sim, bell
+
+
+class TestPoissonTransfers:
+    def test_generates_requested_count(self):
+        sim, bell = make_world()
+        workload = PoissonTransfers(
+            sim, bell, "rr", arrival_rate=5.0, size_packets=10,
+            max_transfers=6, rng=RngStream(1, "arrivals"),
+        )
+        sim.run(until=300.0)
+        assert len(workload.records) == 6
+
+    def test_all_transfers_complete_on_clean_path(self):
+        sim, bell = make_world()
+        workload = PoissonTransfers(
+            sim, bell, "newreno", arrival_rate=2.0, size_packets=15,
+            max_transfers=5, rng=RngStream(2, "arrivals"),
+        )
+        sim.run(until=300.0)
+        assert workload.completion_ratio() == 1.0
+        assert all(r.delay > 0 for r in workload.completed)
+
+    def test_arrivals_are_spread_in_time(self):
+        sim, bell = make_world()
+        workload = PoissonTransfers(
+            sim, bell, "rr", arrival_rate=1.0, size_packets=5,
+            max_transfers=5, rng=RngStream(3, "arrivals"),
+        )
+        sim.run(until=300.0)
+        starts = [r.start_time for r in workload.records]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)  # no simultaneous launches
+
+    def test_size_sampler(self):
+        sim, bell = make_world()
+        workload = PoissonTransfers(
+            sim, bell, "rr", arrival_rate=5.0,
+            size_sampler=lambda rng: rng.randint(3, 7),
+            max_transfers=5, rng=RngStream(4, "arrivals"),
+        )
+        sim.run(until=300.0)
+        assert all(3 <= r.size_packets <= 7 for r in workload.records)
+
+    def test_mean_and_percentile_delay(self):
+        sim, bell = make_world()
+        workload = PoissonTransfers(
+            sim, bell, "rr", arrival_rate=5.0, size_packets=10,
+            max_transfers=4, rng=RngStream(5, "arrivals"),
+        )
+        sim.run(until=300.0)
+        mean = workload.mean_delay()
+        p90 = workload.percentile_delay(0.9)
+        assert mean is not None and p90 is not None
+        assert p90 >= workload.percentile_delay(0.1)
+
+    def test_too_few_host_pairs_rejected(self):
+        sim, bell = make_world(n_pairs=2)
+        with pytest.raises(ConfigurationError):
+            PoissonTransfers(sim, bell, "rr", arrival_rate=1.0, max_transfers=5)
+
+    def test_invalid_rate_rejected(self):
+        sim, bell = make_world()
+        with pytest.raises(ConfigurationError):
+            PoissonTransfers(sim, bell, "rr", arrival_rate=0.0, max_transfers=2)
+
+    def test_determinism(self):
+        def run(seed):
+            sim, bell = make_world()
+            workload = PoissonTransfers(
+                sim, bell, "rr", arrival_rate=3.0, size_packets=8,
+                max_transfers=5, rng=RngStream(seed, "arrivals"),
+            )
+            sim.run(until=300.0)
+            return [(r.start_time, r.complete_time) for r in workload.records]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestOnOffSource:
+    def test_generates_multiple_bursts(self):
+        sim, bell = make_world(n_pairs=1)
+        sender, _ = make_connection(sim, "rr", 1, bell.sender(1), bell.receiver(1))
+        source = OnOffSource(
+            sim, sender, RngStream(1, "onoff"),
+            mean_on_packets=20, mean_off_seconds=0.2,
+        )
+        sim.run(until=20.0)
+        assert source.bursts >= 3
+        assert sender.snd_una > 20  # data flowed across bursts
+
+    def test_off_periods_pause_transmission(self):
+        sim, bell = make_world(n_pairs=1)
+        sender, _ = make_connection(sim, "newreno", 1, bell.sender(1), bell.receiver(1))
+        OnOffSource(
+            sim, sender, RngStream(2, "onoff"),
+            mean_on_packets=5, mean_off_seconds=2.0,
+        )
+        sim.run(until=1.0)
+        sent_early = sender.packets_sent
+        # During a long off period nothing new goes out.
+        sim.run(until=1.5)
+        assert sender.packets_sent - sent_early <= 10
+
+    def test_validation(self):
+        sim, bell = make_world(n_pairs=1)
+        sender, _ = make_connection(sim, "rr", 1, bell.sender(1), bell.receiver(1))
+        with pytest.raises(ConfigurationError):
+            OnOffSource(sim, sender, RngStream(1), mean_on_packets=0)
+        with pytest.raises(ConfigurationError):
+            OnOffSource(sim, sender, RngStream(1), mean_off_seconds=0.0)

@@ -1,0 +1,373 @@
+"""Unit tests for the Robust Recovery state machine (paper Section 2,
+Figures 1-2).
+
+Sequence-number convention: the harness starts a sender with a given
+initial cwnd so the first window 0..W-1 is in flight, then feeds
+duplicate and partial ACKs exactly as a receiver with specific losses
+would generate them.
+"""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.core.robust_recovery import RobustRecoverySender, RrPhase
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=16.0, **cfg):
+    config = TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64, **cfg)
+    return SenderHarness(RobustRecoverySender, config)
+
+
+def enter_recovery(harness):
+    """Three duplicate ACKs: fast retransmit, retreat begins."""
+    harness.dupacks(0, 3)
+
+
+class TestEntry:
+    def test_enters_retreat_on_third_dupack(self):
+        harness = make()
+        harness.start()
+        enter_recovery(harness)
+        assert harness.sender.in_recovery
+        assert harness.sender.phase is RrPhase.RETREAT
+
+    def test_cwnd_unchanged_at_entry(self):
+        """The defining difference from fast recovery: cwnd is not the
+        control variable during RR, so it is left untouched."""
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        assert harness.sender.cwnd == pytest.approx(16.0)
+
+    def test_ssthresh_halved(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        assert harness.sender.ssthresh == pytest.approx(8.0)
+
+    def test_first_lost_packet_retransmitted(self):
+        harness = make()
+        harness.start()
+        harness.host.clear()
+        enter_recovery(harness)
+        assert harness.host.retransmit_seqs() == [0]
+
+    def test_recover_set_to_maxseq(self):
+        harness = make(cwnd=16.0)
+        harness.start()  # 0..15 out; maxseq = 16
+        enter_recovery(harness)
+        assert harness.sender.recover == 16
+
+    def test_actnum_zero_in_retreat(self):
+        harness = make()
+        harness.start()
+        enter_recovery(harness)
+        assert harness.sender.actnum == 0
+
+
+class TestRetreat:
+    def test_one_new_packet_per_two_dupacks(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.host.clear()
+        harness.dupacks(0, 6)
+        # ndup 1..6: sends at 2, 4, 6 -> packets 16, 17, 18
+        assert harness.host.new_data_seqs() == [16, 17, 18]
+
+    def test_odd_dupack_sends_nothing(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.host.clear()
+        harness.ack(0)  # ndup = 1
+        assert harness.host.sent == []
+
+    def test_actnum_stays_zero(self):
+        harness = make()
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 8)
+        assert harness.sender.actnum == 0
+        assert harness.sender.phase is RrPhase.RETREAT
+
+    def test_respects_receiver_window(self):
+        harness = make(cwnd=16.0, receiver_window=16)
+        harness.start()  # flight = 16 = rwnd
+        enter_recovery(harness)
+        harness.host.clear()
+        harness.dupacks(0, 8)
+        assert harness.host.new_data_seqs() == []  # rwnd-bound
+
+    def test_respects_data_limit(self):
+        harness = make(cwnd=16.0)
+        harness.sender.set_data_limit(16)  # nothing beyond the window
+        harness.start()
+        enter_recovery(harness)
+        harness.host.clear()
+        harness.dupacks(0, 8)
+        assert harness.host.new_data_seqs() == []
+
+
+class TestRetreatEnd:
+    def test_actnum_becomes_half_ndup(self):
+        harness = make(cwnd=16.0)
+        harness.start()  # losses 0, 1: survivors 2..15 -> 13 dups + entry 3
+        enter_recovery(harness)
+        harness.dupacks(0, 10)  # ndup = 10, sent 5 new
+        harness.ack(1)  # first partial ACK: retreat ends
+        assert harness.sender.phase is RrPhase.PROBE
+        assert harness.sender.actnum == 5
+
+    def test_partial_ack_triggers_retransmission(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)
+        harness.host.clear()
+        harness.ack(1)
+        assert harness.host.retransmit_seqs() == [1]
+
+    def test_single_loss_exits_from_retreat(self):
+        """Fig. 1 path 1: one lost packet -> recovery ends after the
+        retreat sub-phase."""
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)  # 5 new packets sent (16..20)
+        harness.ack(21)  # big ACK beyond recover=16: everything arrived
+        assert not harness.sender.in_recovery
+        assert harness.sender.phase is RrPhase.NORMAL
+
+    def test_exit_cwnd_equals_actnum(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)  # retreat sent 16..20 -> actnum 5
+        # Exit ACK covers the dormant packets; 16..20 stay in flight.
+        harness.ack(16)
+        assert harness.sender.cwnd == pytest.approx(5.0)
+        # ssthresh keeps the value halved at entry (Fig. 2 exit box
+        # only reassigns cwnd).
+        assert harness.sender.ssthresh == pytest.approx(8.0)
+
+    def test_compressed_exit_does_not_burst(self):
+        """If the exiting ACK has already drained the flight (ACK
+        staircase at a saturated bottleneck), cwnd hands over at
+        flight+1 instead of the raw actnum."""
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)  # retreat sent 16..20, actnum 5
+        harness.host.clear()
+        harness.ack(21)  # covers even the retreat sends: flight 0
+        assert harness.sender.cwnd == pytest.approx(1.0)
+        assert len(harness.host.new_data_seqs()) <= 1
+        # The entry-time halved ssthresh remains the slow-start target.
+        assert harness.sender.ssthresh == pytest.approx(8.0)
+
+
+class TestProbe:
+    def prepare(self, dupacks_in_retreat=10):
+        """Enter probe with actnum = dupacks_in_retreat // 2."""
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, dupacks_in_retreat)
+        harness.ack(1)  # probe begins
+        return harness
+
+    def test_each_dupack_sends_new_packet(self):
+        harness = self.prepare()
+        harness.host.clear()
+        harness.dupacks(1, 3)
+        assert len(harness.host.new_data_seqs()) == 3
+
+    def test_clean_boundary_grows_actnum(self):
+        harness = self.prepare()  # actnum 5
+        harness.dupacks(1, 5)  # all 5 of last RTT's packets arrived
+        harness.host.clear()
+        harness.ack(2)  # boundary: ndup == actnum -> growth
+        assert harness.sender.actnum == 6
+        # retransmission of the hole plus one extra new packet
+        assert harness.host.retransmit_seqs() == [2]
+        assert len(harness.host.new_data_seqs()) == 1
+
+    def test_growth_packet_sent_before_retransmission(self):
+        """Ordering matters: the extra packet must hit the wire before
+        the retransmission or ndup systematically undercounts."""
+        harness = self.prepare()
+        harness.dupacks(1, 5)
+        harness.host.clear()
+        harness.ack(2)
+        kinds = [(p.is_retransmit) for p in harness.host.sent if p.is_data]
+        assert kinds == [False, True]
+
+    def test_further_loss_shrinks_actnum_linearly(self):
+        harness = self.prepare()  # actnum 5
+        harness.dupacks(1, 3)  # only 3 of 5 returned: 2 further losses
+        harness.ack(2)
+        assert harness.sender.actnum == 3
+        assert harness.sender.further_losses_detected == 2
+
+    def test_further_loss_extends_exit(self):
+        harness = self.prepare()
+        recover_before = harness.sender.recover
+        harness.dupacks(1, 3)
+        harness.ack(2)
+        assert harness.sender.recover > recover_before
+        assert harness.sender.recover == harness.sender.maxseq
+        assert harness.sender.exit_extensions == 1
+
+    def test_further_loss_does_not_send_growth_packet(self):
+        harness = self.prepare()
+        harness.dupacks(1, 3)
+        harness.host.clear()
+        harness.ack(2)
+        assert harness.host.new_data_seqs() == []
+        assert harness.host.retransmit_seqs() == [2]
+
+    def test_ndup_resets_each_rtt(self):
+        harness = self.prepare()
+        harness.dupacks(1, 5)
+        harness.ack(2)
+        assert harness.sender.ndup == 0
+
+    def test_one_hole_repaired_per_rtt(self):
+        harness = self.prepare()
+        for hole in [2, 3, 4]:
+            harness.host.clear()
+            harness.dupacks(hole - 1, harness.sender.actnum)
+            harness.ack(hole)
+            assert hole in harness.host.retransmit_seqs()
+
+    def test_excess_dupacks_treated_as_clean(self):
+        """ndup > actnum (reordering artifacts) must not shrink."""
+        harness = self.prepare()  # actnum 5
+        harness.dupacks(1, 7)
+        harness.ack(2)
+        assert harness.sender.actnum == 6
+
+
+class TestExit:
+    def test_exit_from_probe(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)
+        harness.ack(1)      # probe, actnum 5
+        harness.dupacks(1, 5)
+        harness.ack(30)     # beyond recover=16
+        sender = harness.sender
+        assert not sender.in_recovery
+        assert sender.phase is RrPhase.NORMAL
+        assert sender.actnum == 0
+        assert sender.ndup == 0
+
+    def test_exit_transfers_control_to_cwnd(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)
+        harness.ack(1)      # probe, actnum 5 (retreat sent 16..20)
+        harness.dupacks(1, 5)   # probe sends 21..25
+        harness.ack(2)      # clean boundary: actnum -> 6, sends 26 + rtx
+        harness.dupacks(2, 6)   # sends 27..32
+        harness.ack(28)     # beyond recover=16: exit
+        assert harness.sender.cwnd == pytest.approx(6.0)
+        assert harness.sender.ssthresh == pytest.approx(8.0)  # from entry
+
+    def test_exit_observes_packet_conservation(self):
+        """The big-ACK problem is gone: the exiting ACK releases at
+        most one new packet even though it acknowledged many."""
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)
+        harness.ack(1)
+        harness.dupacks(1, 5)  # probe sends 21..25, still in flight
+        harness.host.clear()
+        harness.ack(21)  # big exit ACK covering all dormant packets
+        assert len(harness.host.new_data_seqs()) <= 1
+
+    def test_post_exit_growth_toward_entry_ssthresh(self):
+        """Exit below the halved ssthresh slow-starts back up to it
+        (like New-Reno's effective behaviour); once there, growth is
+        the congestion-avoidance +1/cwnd."""
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)
+        harness.ack(21)  # exit with cwnd = 1 (flight compressed), ssthresh 8
+        assert harness.sender.cwnd < harness.sender.ssthresh
+        cwnd = harness.sender.cwnd
+        harness.ack(22)
+        assert harness.sender.cwnd == pytest.approx(cwnd + 1.0)  # slow start
+        # Push cwnd to ssthresh and check CA takes over.
+        harness.sender.cwnd = harness.sender.ssthresh
+        cwnd = harness.sender.cwnd
+        harness.ack(23)
+        assert harness.sender.cwnd == pytest.approx(cwnd + 1.0 / cwnd)
+
+    def test_min_exit_cwnd_is_one(self):
+        harness = make(cwnd=4.0)
+        harness.start()  # 0..3 out
+        enter_recovery(harness)  # ndup never reaches 2
+        harness.ack(4)   # exit straight from retreat, actnum 0
+        assert harness.sender.cwnd == pytest.approx(1.0)
+
+
+class TestTimeout:
+    def test_timeout_abandons_rr_state(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)
+        harness.ack(1)
+        harness.advance(10.0)
+        sender = harness.sender
+        assert sender.timeouts >= 1
+        assert sender.phase is RrPhase.NORMAL
+        assert not sender.in_recovery
+        assert sender.actnum == 0
+        assert sender.cwnd == pytest.approx(1.0)
+
+    def test_stale_dupacks_after_timeout_ignored(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.advance(10.0)
+        harness.host.clear()
+        harness.dupacks(0, 3)
+        # go-back-N echoes: no new RR episode
+        assert harness.sender.phase is RrPhase.NORMAL
+        assert harness.host.retransmit_seqs() == []
+
+
+class TestDiagnostics:
+    def test_episode_counter(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)
+        harness.ack(21)  # exit
+        harness.ack(22)
+        harness.ack(23)
+        harness.host.clear()
+        harness.dupacks(23, 3)
+        assert harness.sender.recovery_episodes == 2
+
+    def test_app_limited_boundary_not_a_false_loss(self):
+        """When the application runs out of data mid-recovery the
+        missing duplicate ACKs must not read as network losses."""
+        harness = make(cwnd=16.0)
+        harness.sender.set_data_limit(18)  # only 2 packets beyond window
+        harness.start()
+        enter_recovery(harness)
+        harness.dupacks(0, 10)  # retreat can only send 16, 17
+        harness.ack(1)
+        assert harness.sender.actnum == 2  # honest in-flight count
+        harness.dupacks(1, 2)
+        harness.ack(2)
+        assert harness.sender.further_losses_detected == 0

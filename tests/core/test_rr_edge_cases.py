@@ -1,0 +1,158 @@
+"""RR edge cases beyond the main state-machine tests: phase
+transitions under data exhaustion, timeouts inside each sub-phase,
+tiny windows, and back-to-back episodes."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.core.robust_recovery import RobustRecoverySender, RrPhase
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=16.0, **cfg):
+    config = TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64, **cfg)
+    return SenderHarness(RobustRecoverySender, config)
+
+
+class TestTimeoutInsideSubPhases:
+    def test_timeout_during_retreat(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        assert harness.sender.phase is RrPhase.RETREAT
+        harness.advance(10.0)
+        sender = harness.sender
+        assert sender.timeouts >= 1
+        assert sender.phase is RrPhase.NORMAL
+        assert sender.actnum == 0 and sender.ndup == 0
+
+    def test_timeout_during_probe(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 10)
+        harness.ack(1)  # probe
+        assert harness.sender.phase is RrPhase.PROBE
+        harness.advance(10.0)
+        assert harness.sender.phase is RrPhase.NORMAL
+        assert not harness.sender.in_recovery
+
+    def test_recovery_after_timeout_recovery(self):
+        """RTO inside an episode, go-back-N, then a fresh episode once
+        snd_una passes the old maxseq."""
+        harness = make()
+        harness.start()  # 0..15
+        harness.dupacks(0, 3)
+        harness.advance(10.0)  # RTO
+        # go-back-N resend of 0 cumulatively acks the buffered window
+        harness.ack(16)
+        harness.ack(17)
+        harness.ack(18)
+        harness.host.clear()
+        harness.dupacks(18, 3)  # fresh loss beyond old maxseq
+        assert harness.sender.in_recovery
+        assert harness.host.retransmit_seqs() == [18]
+
+
+class TestDataExhaustion:
+    def test_probe_with_no_new_data_still_recovers(self):
+        """App-limited: the probe cannot send new packets, recovery
+        proceeds purely via partial-ACK retransmissions."""
+        harness = make()
+        harness.sender.set_data_limit(16)  # exactly the initial window
+        harness.start()
+        harness.dupacks(0, 10)  # retreat sends nothing (no data)
+        harness.ack(1)
+        assert harness.sender.actnum == 0
+        for hole in (2, 3):
+            harness.host.clear()
+            harness.ack(hole)
+            assert harness.host.retransmit_seqs() == [hole]
+        harness.ack(16)
+        assert harness.sender.completed
+
+    def test_completion_during_recovery(self):
+        harness = make()
+        harness.sender.set_data_limit(16)
+        harness.start()
+        harness.dupacks(0, 5)
+        harness.ack(16)  # covers everything: complete inside recovery
+        assert harness.sender.completed
+
+    def test_acks_after_completion_ignored_in_recovery_state(self):
+        harness = make()
+        harness.sender.set_data_limit(16)
+        harness.start()
+        harness.dupacks(0, 5)
+        harness.ack(16)
+        harness.ack(16)  # stray duplicate after completion: no crash
+        assert harness.sender.completed
+
+
+class TestTinyWindows:
+    def test_window_of_four_single_loss(self):
+        harness = make(cwnd=4.0)
+        harness.start()  # 0..3; loss at 0
+        harness.dupacks(0, 3)
+        assert harness.sender.in_recovery
+        harness.ack(4)
+        assert not harness.sender.in_recovery
+        assert harness.sender.cwnd >= 1.0
+
+    def test_window_of_two_cannot_fast_retransmit(self):
+        harness = make(cwnd=2.0)
+        harness.start()  # 0..1; loss of 0 yields one dup at most
+        harness.ack(0)
+        assert not harness.sender.in_recovery  # waits for the RTO
+
+
+class TestBackToBackEpisodes:
+    def test_two_separate_bursts_two_episodes(self):
+        harness = make()
+        harness.start()          # 0..15, burst 1 at 0
+        harness.dupacks(0, 10)
+        harness.ack(16)          # exit 1 (actnum 5, cwnd 5)
+        # refill: acks walk forward, new data flows
+        for ack in range(17, 24):
+            harness.ack(ack)
+        harness.host.clear()
+        harness.dupacks(23, 3)   # burst 2
+        sender = harness.sender
+        assert sender.recovery_episodes == 2
+        assert harness.host.retransmit_seqs() == [23]
+
+    def test_ssthresh_halves_per_episode(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 10)
+        first_ssthresh = harness.sender.ssthresh
+        harness.ack(16)
+        for ack in range(17, 24):
+            harness.ack(ack)
+        harness.dupacks(23, 3)
+        assert harness.sender.ssthresh < first_ssthresh
+
+
+class TestNdupOverflowSafety:
+    def test_many_excess_dupacks_in_probe(self):
+        """A flood of duplicates (e.g. from a misbehaving receiver)
+        cannot push state negative or trigger bogus retransmissions."""
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 10)
+        harness.ack(1)
+        harness.dupacks(1, 40)  # far more than actnum
+        sender = harness.sender
+        assert sender.ndup == 40
+        assert sender.actnum >= 0
+        harness.ack(2)  # boundary: ndup > actnum handled as clean
+        assert sender.actnum >= 1
+        assert sender.further_losses_detected == 0
+
+    def test_rwnd_clamps_probe_sends(self):
+        harness = make(cwnd=16.0, receiver_window=20)
+        harness.start()
+        harness.dupacks(0, 10)
+        harness.ack(1)
+        harness.dupacks(1, 30)
+        # flight = snd_nxt - snd_una can never exceed rwnd
+        assert harness.sender.flight() <= 20

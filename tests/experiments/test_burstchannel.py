@@ -1,0 +1,57 @@
+"""Tests for the Gilbert-Elliott burst-channel harness."""
+
+import pytest
+
+from repro.experiments.burstchannel import (
+    BurstChannelConfig,
+    _chain_params,
+    format_report,
+    run_burstchannel,
+)
+
+
+class TestChainCalibration:
+    @pytest.mark.parametrize("burst", [1.0, 2.0, 5.0])
+    @pytest.mark.parametrize("rate", [0.01, 0.02, 0.05])
+    def test_stationary_rate_matches_target(self, burst, rate):
+        from repro.net.loss import GilbertElliott
+        from repro.sim.rng import RngStream
+
+        p_g2b, p_b2g = _chain_params(rate, burst, p_bad=0.5)
+        module = GilbertElliott(
+            RngStream(1, "cal"), p_good_to_bad=p_g2b, p_bad_to_good=p_b2g, p_bad=0.5
+        )
+        assert module.expected_loss_rate() == pytest.approx(rate, rel=1e-6)
+
+    def test_burst_length_sets_exit_probability(self):
+        _, p_b2g = _chain_params(0.02, burst_length=4.0, p_bad=0.5)
+        assert p_b2g == pytest.approx(0.25)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = BurstChannelConfig(
+            variants=("newreno", "rr"),
+            burst_lengths=(1.0, 3.0),
+            transfer_packets=150,
+            runs_per_point=2,
+        )
+        return run_burstchannel(config)
+
+    def test_grid_complete(self, result):
+        assert len(result.rows) == 4
+
+    def test_everything_completed(self, result):
+        for row in result.rows:
+            assert row.completed_ratio == 1.0
+
+    def test_cell_lookup(self, result):
+        cell = result.cell("rr", 3.0)
+        assert cell.variant == "rr"
+        assert cell.throughput_bps > 0
+
+    def test_report_renders(self, result):
+        text = format_report(result)
+        assert "burst len" in text
+        assert "rr kbps" in text

@@ -1,0 +1,42 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+class TestDispatch:
+    def test_all_design_md_ids_registered(self):
+        assert {"fig5", "fig6", "fig7", "table5", "ackloss", "ablation",
+                "vegas", "burst"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["does-not-exist"])
+        assert excinfo.value.code != 0
+
+    def test_quick_fig5_runs(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "===== fig5 =====" in out
+        assert "6 packet losses" in out
+
+    def test_quick_ablation_runs(self, capsys):
+        assert main(["ablation", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "rr-retreat-always" in out
+
+    def test_out_directory_written(self, capsys, tmp_path):
+        target = tmp_path / "reports"
+        assert main(["ablation", "--quick", "--out", str(target)]) == 0
+        written = target / "ablation.txt"
+        assert written.exists()
+        assert "rr-retreat-always" in written.read_text()
+
+    def test_vegas_quick_runs(self, capsys):
+        assert main(["vegas", "--quick"]) == 0
+        assert "vegas-rec-only" in capsys.readouterr().out
+
+    def test_burst_quick_runs(self, capsys):
+        assert main(["burst", "--quick"]) == 0
+        assert "burst len" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""Tests for the experiment-result exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export_results import export_result
+from repro.experiments.figure5 import Figure5Config, run_figure5
+from repro.experiments.figure6 import Figure6Config, run_figure6
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_figure5(
+        Figure5Config(variants=("newreno", "rr"), drop_counts=(3,),
+                      transfer_packets=300, sim_duration=30.0)
+    )
+
+
+class TestExport:
+    def test_fig5_csv_and_json(self, fig5_result, tmp_path):
+        paths = export_result("fig5", fig5_result, tmp_path)
+        assert [p.suffix for p in paths] == [".csv", ".json"]
+        with paths[0].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["variant"] for row in rows} == {"newreno", "rr"}
+        assert all(float(row["recovery_throughput_bps"]) > 0 for row in rows)
+        data = json.loads(paths[1].read_text())
+        assert len(data) == 2
+
+    def test_fig6_export(self, tmp_path):
+        result = run_figure6(Figure6Config(variants=("rr",), duration=3.0))
+        paths = export_result("fig6", result, tmp_path)
+        data = json.loads(paths[1].read_text())
+        assert data[0]["variant"] == "rr"
+        assert "final_ack" in data[0]
+
+    def test_non_scalar_fields_stripped(self, fig5_result, tmp_path):
+        paths = export_result("fig5", fig5_result, tmp_path)
+        data = json.loads(paths[1].read_text())
+        for row in data:
+            for value in row.values():
+                assert isinstance(value, (int, float, str, bool)) or value is None
+
+    def test_unknown_id_rejected(self, fig5_result, tmp_path):
+        with pytest.raises(KeyError):
+            export_result("fig99", fig5_result, tmp_path)

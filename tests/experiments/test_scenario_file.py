@@ -1,0 +1,183 @@
+"""Tests for the declarative scenario runner."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenario_file import (
+    run_scenario,
+    run_scenario_file,
+    summarize_scenario,
+)
+
+
+BASIC = {
+    "flows": [{"variant": "rr", "packets": 100}],
+    "duration": 60.0,
+}
+
+
+class TestBasicScenarios:
+    def test_minimal_scenario_runs(self):
+        scenario = run_scenario(dict(BASIC))
+        sender, _ = scenario.flow(1)
+        assert sender.completed
+
+    def test_flows_required(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario({"flows": []})
+        with pytest.raises(ConfigurationError):
+            run_scenario({})
+
+    def test_multiple_flows_with_starts(self):
+        spec = {
+            "flows": [
+                {"variant": "rr", "packets": 50},
+                {"variant": "reno", "start": 1.0, "packets": 50},
+            ],
+            "duration": 120.0,
+        }
+        scenario = run_scenario(spec)
+        assert scenario.senders[1].variant == "rr"
+        assert scenario.senders[2].variant == "reno"
+        assert all(s.completed for s in scenario.senders.values())
+
+    def test_topology_units_converted(self):
+        spec = dict(BASIC)
+        spec["topology"] = {
+            "n_pairs": 1,
+            "bottleneck_bandwidth_mbps": 1.6,
+            "bottleneck_delay_ms": 10,
+            "buffer_packets": 30,
+        }
+        scenario = run_scenario(spec)
+        assert scenario.dumbbell.params.bottleneck_bandwidth_bps == pytest.approx(1.6e6)
+        assert scenario.dumbbell.params.bottleneck_delay == pytest.approx(0.010)
+        assert scenario.dumbbell.bottleneck_queue.limit == 30
+
+    def test_tcp_section(self):
+        spec = dict(BASIC)
+        spec["tcp"] = {"receiver_window": 32, "initial_ssthresh": 10.0}
+        scenario = run_scenario(spec)
+        assert scenario.senders[1].config.receiver_window == 32
+
+
+class TestLossSections:
+    def test_uniform_loss(self):
+        spec = dict(BASIC)
+        spec["loss"] = {"kind": "uniform", "rate": 0.05}
+        spec["seed"] = 5
+        scenario = run_scenario(spec)
+        sender, stats = scenario.flow(1)
+        assert sender.completed
+        assert stats.drops_observed > 0
+
+    def test_deterministic_loss(self):
+        spec = dict(BASIC)
+        spec["loss"] = {"kind": "deterministic", "drops": [[1, 20], [1, 21]]}
+        scenario = run_scenario(spec)
+        sender, stats = scenario.flow(1)
+        assert sender.completed
+        assert stats.drops_observed == 2
+
+    def test_gilbert_elliott_loss(self):
+        spec = dict(BASIC)
+        spec["loss"] = {"kind": "gilbert-elliott", "p_good_to_bad": 0.02}
+        spec["duration"] = 120.0
+        scenario = run_scenario(spec)
+        assert scenario.senders[1].completed
+
+    def test_ack_loss(self):
+        spec = dict(BASIC)
+        spec["ack_loss"] = {"rate": 0.1}
+        spec["duration"] = 120.0
+        scenario = run_scenario(spec)
+        assert scenario.senders[1].completed
+
+    def test_unknown_loss_kind_rejected(self):
+        spec = dict(BASIC)
+        spec["loss"] = {"kind": "martian"}
+        with pytest.raises(ConfigurationError):
+            run_scenario(spec)
+
+
+class TestQueueSection:
+    def test_red_queue(self):
+        from repro.net.red import RedQueue
+
+        spec = dict(BASIC)
+        spec["queue"] = {"kind": "red", "min_th": 3, "max_th": 9, "limit": 12}
+        scenario = run_scenario(spec)
+        queue = scenario.dumbbell.bottleneck_queue
+        assert isinstance(queue, RedQueue)
+        assert queue.params.min_th == 3
+
+    def test_unknown_queue_kind_rejected(self):
+        spec = dict(BASIC)
+        spec["queue"] = {"kind": "codel"}
+        with pytest.raises(ConfigurationError):
+            run_scenario(spec)
+
+
+class TestExtendedSections:
+    def test_fair_queue(self):
+        from repro.net.fairqueue import FairQueue
+
+        spec = dict(BASIC)
+        spec["queue"] = {"kind": "fq", "limit": 20, "quantum_bytes": 500}
+        scenario = run_scenario(spec)
+        queue = scenario.dumbbell.bottleneck_queue
+        assert isinstance(queue, FairQueue)
+        assert queue.quantum_bytes == 500
+
+    def test_jitter_section(self):
+        from repro.net.reorder import JitterReorderer
+
+        spec = dict(BASIC)
+        spec["jitter"] = {"max_ms": 10}
+        scenario = run_scenario(spec)
+        reorderer = scenario.dumbbell.forward_link.reorder
+        assert isinstance(reorderer, JitterReorderer)
+        assert reorderer.max_jitter == pytest.approx(0.010)
+        assert scenario.senders[1].completed
+
+    def test_outage_section(self):
+        spec = dict(BASIC)
+        spec["outage"] = {"start": 0.5, "duration": 0.1}
+        spec["duration"] = 120.0
+        scenario = run_scenario(spec)
+        assert scenario.dumbbell.forward_link.outage_drops > 0
+        assert scenario.senders[1].completed
+
+    def test_symmetric_bottleneck_flag(self):
+        spec = dict(BASIC)
+        spec["topology"] = {"n_pairs": 1, "buffer_packets": 15,
+                            "symmetric_bottleneck": True}
+        scenario = run_scenario(spec)
+        assert scenario.dumbbell.reverse_link.queue.limit == 15
+
+
+class TestFileAndSummary:
+    def test_round_trip_through_json_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(BASIC))
+        scenario = run_scenario_file(path)
+        assert scenario.senders[1].completed
+
+    def test_summary_structure(self):
+        scenario = run_scenario(dict(BASIC))
+        summary = summarize_scenario(scenario)
+        flow = summary["flows"]["1"]
+        assert flow["variant"] == "rr"
+        assert flow["completed"] is True
+        assert flow["final_ack"] == 100
+        json.dumps(summary)  # must be JSON-serialisable
+
+    def test_seed_determinism(self):
+        spec = dict(BASIC)
+        spec["loss"] = {"kind": "uniform", "rate": 0.03}
+        spec["seed"] = 9
+        first = summarize_scenario(run_scenario(spec))
+        second = summarize_scenario(run_scenario(spec))
+        assert first == second

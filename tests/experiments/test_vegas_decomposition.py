@@ -1,0 +1,44 @@
+"""Tests for the Vegas-decomposition harness."""
+
+import pytest
+
+from repro.experiments.vegas_decomposition import (
+    CONFIGURATIONS,
+    VegasDecompositionConfig,
+    format_report,
+    run_vegas_decomposition,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = VegasDecompositionConfig(transfer_packets=200, sim_duration=60.0)
+    return run_vegas_decomposition(config)
+
+
+class TestHarness:
+    def test_all_configurations_ran(self, result):
+        assert {r.name for r in result.rows} == set(CONFIGURATIONS)
+
+    def test_all_completed(self, result):
+        for row in result.rows:
+            assert row.complete_time is not None
+
+    def test_vegas_beats_reno(self, result):
+        assert result.row("vegas").complete_time < result.row("reno").complete_time
+
+    def test_recovery_side_dominates_the_gain(self, result):
+        """The [8] decomposition the paper's motivation rests on."""
+        reno = result.row("reno").complete_time
+        gain_full = reno - result.row("vegas").complete_time
+        gain_rec = reno - result.row("vegas-rec-only").complete_time
+        gain_ca = reno - result.row("vegas-ca-only").complete_time
+        assert gain_rec > gain_ca
+
+    def test_vegas_ca_avoids_self_induced_losses(self, result):
+        """What the delay-based CA *does* buy: fewer drops."""
+        assert result.row("vegas").drops_observed < result.row("reno").drops_observed
+
+    def test_report_renders(self, result):
+        text = format_report(result)
+        assert "vegas-rec-only" in text

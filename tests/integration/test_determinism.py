@@ -1,0 +1,69 @@
+"""Determinism: identical configuration + seed => identical traces.
+
+The paper leans on determinism for its Figure 5 methodology ("the TCP
+behaviors in each simulation experiment are deterministic, and do not
+change with different runs"); our engine must honour that bit-for-bit.
+"""
+
+from repro.config import TcpConfig
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.loss import DeterministicLoss, UniformLoss
+from repro.net.red import RedParams, RedQueue
+from repro.net.topology import DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+def burst_trace(variant):
+    loss = DeterministicLoss([(1, 50 + i) for i in range(4)])
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant=variant, amount_packets=150)],
+        params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        forward_loss=loss,
+    )
+    scenario.sim.run(until=100.0)
+    _, stats = scenario.flow(1)
+    return stats.send_series, stats.ack_series
+
+
+def random_trace(seed):
+    rng = RngStream(seed, "loss")
+    loss = UniformLoss(0.03, rng)
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant="rr", amount_packets=150)],
+        params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        forward_loss=loss,
+    )
+    scenario.sim.run(until=200.0)
+    _, stats = scenario.flow(1)
+    return stats.send_series, stats.ack_series
+
+
+def red_trace(seed):
+    sim = Simulator()
+    rng = RngStream(seed, "red")
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant="rr", amount_packets=None) for _ in range(3)],
+        params=DumbbellParams(n_pairs=3, buffer_packets=25),
+        bottleneck_queue_factory=lambda name: RedQueue(
+            sim, RedParams(), rng.substream(name), name=name
+        ),
+        sim=sim,
+    )
+    scenario.sim.run(until=5.0)
+    return [scenario.stats[i].ack_series for i in (1, 2, 3)]
+
+
+class TestDeterminism:
+    def test_deterministic_burst_scenario_repeats_exactly(self):
+        for variant in ("tahoe", "newreno", "sack", "rr"):
+            assert burst_trace(variant) == burst_trace(variant)
+
+    def test_seeded_random_loss_repeats_exactly(self):
+        assert random_trace(42) == random_trace(42)
+
+    def test_different_seeds_differ(self):
+        assert random_trace(1) != random_trace(2)
+
+    def test_red_scenario_repeats_exactly(self):
+        assert red_trace(7) == red_trace(7)

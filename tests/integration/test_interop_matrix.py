@@ -1,0 +1,49 @@
+"""Interoperability matrix: every pair of recovery schemes must
+coexist on a shared bottleneck — both complete, neither starves.
+
+This generalises the paper's Section 5 concern ("to be an incrementally
+deployable TCP enhancement, RR must interoperate well ... with existing
+TCP congestion-recovery strategies") to the whole zoo.
+"""
+
+import itertools
+
+import pytest
+
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.topology import DumbbellParams
+
+SCHEMES = ["tahoe", "reno", "newreno", "sack", "rr", "vegas"]
+
+
+@pytest.mark.parametrize(
+    "first,second", list(itertools.combinations_with_replacement(SCHEMES, 2))
+)
+def test_pair_coexists(first, second):
+    scenario = build_dumbbell_scenario(
+        flows=[
+            FlowSpec(variant=first, amount_packets=150),
+            FlowSpec(variant=second, amount_packets=150, start_time=0.2),
+        ],
+        params=DumbbellParams(n_pairs=2, buffer_packets=25),
+    )
+    scenario.sim.run(until=300.0)
+    for flow_id in (1, 2):
+        sender = scenario.senders[flow_id]
+        assert sender.completed, f"{first}+{second}: flow {flow_id} did not finish"
+        assert scenario.receivers[flow_id].delivered == 150
+
+
+@pytest.mark.parametrize("aggressor", ["reno", "newreno", "rr"])
+def test_vegas_survives_aggressive_neighbours(aggressor):
+    """Vegas' known weakness — loss-based flows fill the buffer it
+    tries to keep empty — must degrade it, not deadlock it."""
+    scenario = build_dumbbell_scenario(
+        flows=[
+            FlowSpec(variant="vegas", amount_packets=120),
+            FlowSpec(variant=aggressor, amount_packets=None),
+        ],
+        params=DumbbellParams(n_pairs=2, buffer_packets=25),
+    )
+    scenario.sim.run(until=300.0)
+    assert scenario.senders[1].completed

@@ -1,0 +1,132 @@
+"""Integration tests pinning the paper's qualitative results (the
+"shapes" DESIGN.md §5 promises).  These are the regression tests for
+the reproduction itself: if a refactor breaks one of these, the
+repository no longer reproduces the paper.
+"""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.metrics.throughput import loss_recovery_throughput
+from repro.net.loss import DeterministicLoss
+from repro.net.topology import DumbbellParams
+
+
+def burst_run(variant, n_drops, packets=600):
+    loss = DeterministicLoss([(1, 100 + i) for i in range(n_drops)])
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant=variant, amount_packets=packets)],
+        params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+        forward_loss=loss,
+    )
+    scenario.sim.run(until=120.0)
+    return scenario.flow(1)
+
+
+def recovery_kbps(variant, n_drops):
+    _, stats = burst_run(variant, n_drops)
+    bps = loss_recovery_throughput(stats)
+    assert bps is not None, f"{variant} never recovered"
+    return bps / 1000.0
+
+
+class TestFigure5Shapes:
+    """Figure 5: who wins during recovery from 3/6-packet bursts."""
+
+    def test_rr_beats_newreno_3drops(self):
+        assert recovery_kbps("rr", 3) > 1.1 * recovery_kbps("newreno", 3)
+
+    def test_rr_beats_newreno_6drops(self):
+        assert recovery_kbps("rr", 6) > 1.5 * recovery_kbps("newreno", 6)
+
+    def test_rr_at_least_as_good_as_sack_6drops(self):
+        # "achieves at least as much performance improvements as SACK"
+        assert recovery_kbps("rr", 6) >= 0.95 * recovery_kbps("sack", 6)
+
+    def test_rr_close_to_sack_3drops(self):
+        assert recovery_kbps("rr", 3) >= 0.9 * recovery_kbps("sack", 3)
+
+    def test_tahoe_beats_newreno_at_heavy_burst(self):
+        # "Tahoe is more robust than New-Reno in case of high bursty losses"
+        assert recovery_kbps("tahoe", 6) > recovery_kbps("newreno", 6)
+
+    def test_all_schemes_degrade_with_burst_size(self):
+        for variant in ("newreno", "rr"):
+            assert recovery_kbps(variant, 6) < recovery_kbps(variant, 3)
+
+
+class TestRrMechanisms:
+    def test_rr_handles_bursts_without_timeout(self):
+        for n_drops in (3, 6, 9):
+            sender, _ = burst_run("rr", n_drops)
+            assert sender.timeouts == 0
+
+    def test_rr_single_episode_per_burst(self):
+        sender, stats = burst_run("rr", 6)
+        assert sender.recovery_episodes == 1
+
+    def test_reno_halves_repeatedly_on_burst(self):
+        """Reno's pathology (paper §1): multiple window halvings or a
+        timeout for one burst."""
+        sender, stats = burst_run("reno", 6)
+        # Reno either re-enters recovery several times or times out.
+        assert len(stats.episodes) + sender.timeouts >= 2
+
+    def test_rr_detects_further_losses_without_new_fast_retransmit(self):
+        loss = DeterministicLoss(
+            [(1, 100 + i) for i in range(4)] + [(1, 126), (1, 130)]
+        )
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="rr", amount_packets=600)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+            default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+            forward_loss=loss,
+        )
+        scenario.sim.run(until=120.0)
+        sender, stats = scenario.flow(1)
+        assert sender.completed
+        assert sender.further_losses_detected == 2
+        assert sender.exit_extensions >= 1
+        assert sender.recovery_episodes == 1  # all inside one episode
+        assert sender.timeouts == 0
+
+    def test_rr_exit_is_burst_free(self):
+        sender, stats = burst_run("rr", 6)
+        episode = stats.episodes[0]
+        assert episode.exit_time is not None
+        sends_at_exit = [
+            seq
+            for t, seq, retransmit in stats.send_series
+            if episode.exit_time <= t <= episode.exit_time + 0.001 and not retransmit
+        ]
+        assert len(sends_at_exit) <= 2
+
+
+class TestNewRenoPathology:
+    def test_newreno_new_data_decays_during_recovery(self):
+        """§1: New-Reno's new-data transmissions per RTT shrink
+        geometrically during a multi-loss recovery."""
+        sender, stats = burst_run("newreno", 6)
+        episode = stats.episodes[0]
+        assert episode.exit_time is not None
+        new_sends = [
+            t
+            for t, seq, retransmit in stats.send_series
+            if not retransmit and episode.enter_time <= t <= episode.exit_time
+        ]
+        duration = episode.exit_time - episode.enter_time
+        first_half = sum(1 for t in new_sends if t < episode.enter_time + duration / 2)
+        second_half = len(new_sends) - first_half
+        assert first_half >= second_half
+
+    def test_newreno_recovers_one_loss_per_rtt(self):
+        sender, stats = burst_run("newreno", 6)
+        episode = stats.episodes[0]
+        retransmissions = [
+            t
+            for t, seq, retransmit in stats.send_series
+            if retransmit and episode.enter_time <= t <= (episode.exit_time or 1e9)
+        ]
+        assert len(retransmissions) == 6

@@ -1,0 +1,84 @@
+"""Tests for link-utilization monitoring."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.errors import ConfigurationError
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.metrics.utilization import LinkMonitor
+from repro.net.loss import DeterministicLoss
+from repro.net.topology import DumbbellParams
+from repro.sim.engine import Simulator
+from repro.net.link import Link
+from repro.net.queues import DropTailQueue
+from repro.net.packet import data_packet
+
+
+class SinkNode:
+    def receive(self, packet):
+        pass
+
+
+class TestMonitorMechanics:
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        link = Link(sim, "x", 1e6, 0.001, DropTailQueue(10))
+        with pytest.raises(ConfigurationError):
+            LinkMonitor(sim, link, period=0.0)
+
+    def test_windows_accumulate(self):
+        sim = Simulator()
+        link = Link(sim, "x", 8e6, 0.001, DropTailQueue(100))
+        link.connect(SinkNode())
+        monitor = LinkMonitor(sim, link, period=0.1)
+        for i in range(10):
+            link.send(data_packet(1, "S", "K", i))
+        sim.run(until=1.0)
+        assert len(monitor.windows) == 10
+        total = sum(delivered for _, delivered in monitor.windows)
+        assert total == 10 * 1000
+
+    def test_idle_link_zero_utilization(self):
+        sim = Simulator()
+        link = Link(sim, "x", 1e6, 0.001, DropTailQueue(10))
+        monitor = LinkMonitor(sim, link, period=0.1)
+        sim.run(until=1.0)
+        assert monitor.mean_utilization() == 0.0
+        assert monitor.idle_windows() == len(monitor.windows)
+
+
+class TestUtilizationOnBottleneck:
+    def test_saturated_bottleneck_near_full(self):
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="rr", amount_packets=None)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        )
+        # Sample the steady state, past the slow-start overshoot and
+        # the first recovery episode.
+        monitor = LinkMonitor(
+            scenario.sim, scenario.dumbbell.forward_link, period=0.25, start_time=8.0
+        )
+        scenario.sim.run(until=25.0)
+        assert monitor.mean_utilization() > 0.9
+
+    def test_newreno_burst_recovery_leaves_idle_windows(self):
+        """The §1 complaint quantified: during New-Reno's 6-drop
+        recovery crawl the bottleneck goes underutilised; RR keeps it
+        busier over the same engineered window."""
+
+        def run(variant):
+            loss = DeterministicLoss([(1, 100 + i) for i in range(6)])
+            scenario = build_dumbbell_scenario(
+                flows=[FlowSpec(variant=variant, amount_packets=400)],
+                params=DumbbellParams(n_pairs=1, buffer_packets=25),
+                default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+                forward_loss=loss,
+            )
+            monitor = LinkMonitor(
+                scenario.sim, scenario.dumbbell.forward_link,
+                period=0.1, start_time=1.4,  # the loss lands near t=1.45
+            )
+            scenario.sim.run(until=3.4)  # the 2 s recovery window
+            return monitor.mean_utilization()
+
+        assert run("rr") > run("newreno")

@@ -1,0 +1,108 @@
+"""Cross-validation of simulator and analytical model.
+
+The Mathis derivation assumes periodic single losses: the window saws
+between W/2 and W, losing exactly one packet per cycle.  Driving the
+simulator with :class:`PeriodicLoss` — the model's own loss process —
+the measured normalised throughput must land on the theoretical curve.
+Agreement here validates both sides at once: the simulator's AIMD
+dynamics and the model implementation.
+"""
+
+import math
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.models.mathis import MATHIS_C_ACK_EVERY_PACKET, mathis_window
+from repro.net.loss import PeriodicLoss
+from repro.net.topology import DumbbellParams
+
+
+def measure_window(period, variant="newreno", duration=400.0, warmup=60.0,
+                   delayed_ack=False):
+    """Average window (BW*RTT/MSS) under one-loss-every-`period`."""
+    loss = PeriodicLoss(period, offset=period // 2)
+    params = DumbbellParams(
+        n_pairs=1,
+        bottleneck_bandwidth_bps=10e6,   # fast: RTT stays propagation-bound
+        bottleneck_delay=0.097,
+        side_bandwidth_bps=100e6,
+        buffer_packets=400,
+    )
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant=variant, amount_packets=None)],
+        params=params,
+        default_config=TcpConfig(
+            receiver_window=400, initial_ssthresh=30.0, delayed_ack=delayed_ack
+        ),
+        forward_loss=loss,
+    )
+    scenario.sim.run(until=duration)
+    _, stats = scenario.flow(1)
+    acked = stats.acked_at(duration) - stats.acked_at(warmup)
+    bw_bps = acked * 8000.0 / (duration - warmup)
+    return bw_bps * 0.2 / 8000.0  # W = BW * RTT / MSS
+
+
+class TestPeriodicLossModule:
+    def test_exact_period(self):
+        from repro.net.packet import data_packet
+
+        loss = PeriodicLoss(5)
+        outcomes = [loss.should_drop(data_packet(1, "S", "K", i)) for i in range(20)]
+        assert outcomes == [i % 5 == 0 for i in range(20)]
+
+    def test_retransmissions_exempt(self):
+        from repro.net.packet import data_packet
+
+        loss = PeriodicLoss(1)  # every first transmission dies
+        assert loss.should_drop(data_packet(1, "S", "K", 0))
+        assert not loss.should_drop(data_packet(1, "S", "K", 0, is_retransmit=True))
+
+    def test_offset_shifts_phase(self):
+        from repro.net.packet import data_packet
+
+        loss = PeriodicLoss(4, offset=2)
+        outcomes = [loss.should_drop(data_packet(1, "S", "K", i)) for i in range(10)]
+        assert outcomes.index(True) == 2
+
+    def test_invalid_params(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PeriodicLoss(0)
+        with pytest.raises(ConfigurationError):
+            PeriodicLoss(3, offset=-1)
+
+
+class TestSquareRootLaw:
+    @pytest.mark.parametrize("period", [400, 900])
+    def test_measured_window_matches_model(self, period):
+        """Under the model's own assumptions the simulator lands within
+        ~20% of C/sqrt(p) — most of the residual is the sawtooth-mean
+        vs -peak convention."""
+        p = 1.0 / period
+        measured = measure_window(period)
+        predicted = mathis_window(p)
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_scaling_between_two_rates(self):
+        """Doubling the period (halving p) must scale W by ~sqrt(2),
+        regardless of the absolute calibration."""
+        w1 = measure_window(400)
+        w2 = measure_window(800)
+        assert w2 / w1 == pytest.approx(math.sqrt(2.0), rel=0.15)
+
+    def test_rr_obeys_the_same_law(self):
+        p = 1.0 / 400
+        measured = measure_window(400, variant="rr")
+        assert measured == pytest.approx(mathis_window(p), rel=0.3)
+
+    def test_delayed_acks_scale_c_by_inverse_sqrt2(self):
+        """The model's C depends on the ACK strategy: with one ACK per
+        b=2 packets the window grows half as fast, so
+        W_delack / W_ackall = 1/sqrt(2)."""
+        w_ack_all = measure_window(400, delayed_ack=False)
+        w_delack = measure_window(400, delayed_ack=True)
+        assert w_delack / w_ack_all == pytest.approx(1 / math.sqrt(2.0), rel=0.2)

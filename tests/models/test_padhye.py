@@ -1,0 +1,54 @@
+"""Unit tests for the Padhye et al. throughput model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.mathis import mathis_bandwidth_bps
+from repro.models.padhye import padhye_bandwidth_bps
+
+
+class TestModelShape:
+    def test_monotone_decreasing_in_p(self):
+        values = [padhye_bandwidth_bps(p, rtt=0.2) for p in (0.001, 0.01, 0.05, 0.3)]
+        assert values == sorted(values, reverse=True)
+
+    def test_below_mathis_at_high_loss(self):
+        """Timeout modelling must pull the estimate below the
+        timeout-free square-root bound where losses are heavy."""
+        p = 0.1
+        assert padhye_bandwidth_bps(p, rtt=0.2, rto=1.0) < mathis_bandwidth_bps(p, 0.2)
+
+    def test_approaches_mathis_at_low_loss(self):
+        """With rare losses timeouts are negligible and the two models
+        agree within ~20%."""
+        p = 0.0005
+        padhye = padhye_bandwidth_bps(p, rtt=0.2, rto=1.0)
+        mathis = mathis_bandwidth_bps(p, 0.2)
+        assert padhye == pytest.approx(mathis, rel=0.2)
+
+    def test_receiver_window_cap(self):
+        capped = padhye_bandwidth_bps(0.0001, rtt=0.2, max_window=10)
+        assert capped == pytest.approx(10 / 0.2 * 8000)
+
+    def test_longer_rto_lowers_throughput(self):
+        slow = padhye_bandwidth_bps(0.05, rtt=0.2, rto=3.0)
+        fast = padhye_bandwidth_bps(0.05, rtt=0.2, rto=0.5)
+        assert slow < fast
+
+    def test_delayed_ack_b2_lowers_throughput(self):
+        b1 = padhye_bandwidth_bps(0.01, rtt=0.2, packets_per_ack=1.0)
+        b2 = padhye_bandwidth_bps(0.01, rtt=0.2, packets_per_ack=2.0)
+        assert b2 < b1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_invalid_loss_rate(self, p):
+        with pytest.raises(ConfigurationError):
+            padhye_bandwidth_bps(p, rtt=0.2)
+
+    def test_invalid_rtt_or_rto(self):
+        with pytest.raises(ConfigurationError):
+            padhye_bandwidth_bps(0.01, rtt=0.0)
+        with pytest.raises(ConfigurationError):
+            padhye_bandwidth_bps(0.01, rtt=0.2, rto=0.0)

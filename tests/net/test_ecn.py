@@ -1,0 +1,163 @@
+"""Tests for the ECN extension: RED marking, receiver echo, sender
+reaction."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.packet import ack_packet, data_packet
+from repro.net.red import RedParams, RedQueue
+from repro.net.topology import DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.receiver import TcpReceiver
+from tests.conftest import SenderHarness
+
+
+class TestRedMarking:
+    def make_queue(self, ecn=True):
+        sim = Simulator()
+        params = RedParams(weight=1.0, min_th=1, max_th=50, max_p=1.0, limit=100, ecn=ecn)
+        return RedQueue(sim, params, RngStream(1, "red"))
+
+    def test_capable_packets_marked_not_dropped(self):
+        queue = self.make_queue(ecn=True)
+        for i in range(10):
+            packet = data_packet(1, "S", "K", i)
+            packet.ecn_capable = True
+            queue.enqueue(packet)
+        assert queue.ecn_marks > 0
+        assert queue.early_drops == 0
+
+    def test_incapable_packets_still_dropped(self):
+        queue = self.make_queue(ecn=True)
+        for i in range(10):
+            queue.enqueue(data_packet(1, "S", "K", i))
+        assert queue.early_drops > 0
+        assert queue.ecn_marks == 0
+
+    def test_ecn_off_drops_capable_packets(self):
+        queue = self.make_queue(ecn=False)
+        for i in range(10):
+            packet = data_packet(1, "S", "K", i)
+            packet.ecn_capable = True
+            queue.enqueue(packet)
+        assert queue.early_drops > 0
+        assert queue.ecn_marks == 0
+
+
+class TestReceiverEcho:
+    def make_receiver(self):
+        sim = Simulator()
+        receiver = TcpReceiver(sim, flow_id=1)
+
+        class Host:
+            name = "K1"
+            sent = []
+
+            def send(self, packet):
+                self.sent.append(packet)
+
+        host = Host()
+        host.sent = []
+        receiver.attach(host)
+        return receiver, host
+
+    def test_marked_packet_echoed(self):
+        receiver, host = self.make_receiver()
+        packet = data_packet(1, "S1", "K1", 0)
+        packet.ecn_marked = True
+        receiver.receive(packet)
+        assert host.sent[0].ecn_echo
+        assert receiver.ecn_marks_seen == 1
+
+    def test_unmarked_packet_not_echoed(self):
+        receiver, host = self.make_receiver()
+        receiver.receive(data_packet(1, "S1", "K1", 0))
+        assert not host.sent[0].ecn_echo
+
+    def test_echo_clears_after_one_ack(self):
+        receiver, host = self.make_receiver()
+        marked = data_packet(1, "S1", "K1", 0)
+        marked.ecn_marked = True
+        receiver.receive(marked)
+        receiver.receive(data_packet(1, "S1", "K1", 1))
+        assert host.sent[0].ecn_echo
+        assert not host.sent[1].ecn_echo
+
+
+class TestSenderReaction:
+    def make(self):
+        return SenderHarness(
+            NewRenoSender,
+            TcpConfig(initial_cwnd=10.0, initial_ssthresh=64, ecn_enabled=True),
+        )
+
+    def echo(self, harness, ackno):
+        ack = ack_packet(1, "K1", "S1", ackno)
+        ack.ecn_echo = True
+        harness.sender.receive(ack)
+
+    def test_halves_on_echo(self):
+        harness = self.make()
+        harness.start()
+        self.echo(harness, 1)
+        assert harness.sender.cwnd == pytest.approx(5.0)  # flight was 10
+        assert harness.sender.ecn_reactions == 1
+
+    def test_at_most_once_per_window(self):
+        harness = self.make()
+        harness.start()
+        self.echo(harness, 1)
+        cwnd = harness.sender.cwnd
+        self.echo(harness, 2)  # same window of data
+        assert harness.sender.cwnd == pytest.approx(cwnd)
+        assert harness.sender.ecn_reactions == 1
+
+    def test_reacts_again_next_window(self):
+        harness = self.make()
+        harness.start()
+        self.echo(harness, 1)
+        # advance past the reaction marker (= snd_nxt at reaction)
+        marker = harness.sender._ecn_react_marker
+        for ack in range(2, marker + 1):
+            harness.ack(ack)
+        self.echo(harness, marker + 1)
+        assert harness.sender.ecn_reactions == 2
+
+    def test_disabled_by_default(self):
+        harness = SenderHarness(NewRenoSender, TcpConfig(initial_cwnd=10.0))
+        harness.start()
+        assert not harness.host.sent[0].ecn_capable
+        self.echo(harness, 1)
+        assert harness.sender.ecn_reactions == 0
+
+    def test_data_packets_carry_ect(self):
+        harness = self.make()
+        harness.start()
+        assert all(p.ecn_capable for p in harness.host.sent if p.is_data)
+
+
+class TestEcnEndToEnd:
+    def test_ecn_flow_avoids_early_drops(self):
+        sim = Simulator()
+        rng = RngStream(5, "red")
+        params = RedParams(ecn=True, weight=0.02)  # fast-moving average
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="newreno", amount_packets=800)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+            default_config=TcpConfig(ecn_enabled=True),
+            bottleneck_queue_factory=lambda name: RedQueue(
+                sim, params, rng.substream(name), name=name
+            ),
+            sim=sim,
+        )
+        scenario.sim.run(until=120.0)
+        sender, stats = scenario.flow(1)
+        queue = scenario.dumbbell.bottleneck_queue
+        assert sender.completed
+        assert queue.ecn_marks > 0
+        assert sender.ecn_reactions > 0
+        # Early drops replaced by marks; only overflow can still drop.
+        assert queue.early_drops == 0

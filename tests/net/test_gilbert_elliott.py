@@ -1,0 +1,108 @@
+"""Tests for the Gilbert-Elliott burst-loss channel."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.loss import GilbertElliott
+from repro.net.packet import ack_packet, data_packet
+from repro.sim.rng import RngStream
+
+
+def data(seqno, flow=1):
+    return data_packet(flow, "S1", "K1", seqno)
+
+
+def make(**kwargs):
+    seed = kwargs.pop("seed", 7)
+    defaults = dict(
+        p_good_to_bad=0.01, p_bad_to_good=0.3, p_good=0.0, p_bad=0.5
+    )
+    defaults.update(kwargs)
+    return GilbertElliott(RngStream(seed, "ge"), **defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p_good_to_bad": -0.1},
+            {"p_bad_to_good": 1.5},
+            {"p_good": 2.0},
+            {"p_bad": -1.0},
+        ],
+    )
+    def test_invalid_probabilities_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            make(**kwargs)
+
+
+class TestBehaviour:
+    def test_acks_never_dropped(self):
+        module = make(p_good=1.0, p_bad=1.0)
+        assert not module.should_drop(ack_packet(1, "K", "S", 1))
+
+    def test_flow_filter(self):
+        module = make(p_good=1.0, p_bad=1.0, flow_id=2)
+        assert not module.should_drop(data(0, flow=1))
+        assert module.should_drop(data(0, flow=2))
+
+    def test_all_good_never_drops(self):
+        module = make(p_good_to_bad=0.0, p_good=0.0)
+        assert not any(module.should_drop(data(i)) for i in range(500))
+
+    def test_always_bad_always_drops(self):
+        module = make(p_good_to_bad=1.0, p_bad_to_good=0.0, p_bad=1.0)
+        assert all(module.should_drop(data(i)) for i in range(50))
+
+    def test_losses_are_bursty(self):
+        """Compared with i.i.d. loss of the same rate, GE losses come
+        in runs: the number of loss-run starts is much smaller than the
+        number of losses."""
+        module = make(p_good_to_bad=0.005, p_bad_to_good=0.2, p_bad=0.9, seed=3)
+        outcomes = [module.should_drop(data(i)) for i in range(20_000)]
+        losses = sum(outcomes)
+        runs = sum(
+            1 for prev, cur in zip([False] + outcomes, outcomes) if cur and not prev
+        )
+        assert losses > 100
+        assert runs < 0.6 * losses  # mean run length clearly > 1
+
+    def test_stationary_rate_matches_formula(self):
+        module = make(p_good_to_bad=0.02, p_bad_to_good=0.2, p_bad=0.5, seed=11)
+        expected = module.expected_loss_rate()
+        n = 100_000
+        observed = sum(module.should_drop(data(i)) for i in range(n)) / n
+        assert observed == pytest.approx(expected, rel=0.15)
+
+    def test_expected_rate_degenerate_chain(self):
+        module = make(p_good_to_bad=0.0, p_bad_to_good=0.0, p_good=0.1, p_bad=0.9)
+        assert module.expected_loss_rate() == pytest.approx(0.1)
+
+    def test_bad_entries_counted(self):
+        module = make(p_good_to_bad=1.0, p_bad_to_good=1.0, seed=5)
+        for i in range(10):
+            module.should_drop(data(i))
+        assert module.bad_entries >= 1
+
+
+class TestEndToEnd:
+    def test_every_variant_survives_burst_channel(self):
+        from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+        from repro.net.topology import DumbbellParams
+
+        for variant in ("tahoe", "newreno", "sack", "rr"):
+            module = GilbertElliott(
+                RngStream(9, f"ge-{variant}"),
+                p_good_to_bad=0.01,
+                p_bad_to_good=0.3,
+                p_bad=0.5,
+            )
+            scenario = build_dumbbell_scenario(
+                flows=[FlowSpec(variant=variant, amount_packets=150)],
+                params=DumbbellParams(n_pairs=1, buffer_packets=50),
+                forward_loss=module,
+            )
+            scenario.sim.run(until=600.0)
+            sender, _ = scenario.flow(1)
+            assert sender.completed, variant
+            assert scenario.receivers[1].delivered == 150

@@ -1,0 +1,166 @@
+"""Unit tests for links (transmission + propagation + queueing)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+from repro.net.loss import DeterministicLoss
+from repro.net.packet import data_packet
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+
+
+class SinkNode:
+    """Records packet arrivals with timestamps."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet))
+
+
+def make_link(sim, bandwidth_bps=8000.0, delay=1.0, limit=10, loss=None, trace=None):
+    link = Link(
+        sim,
+        "A->B",
+        bandwidth_bps,
+        delay,
+        DropTailQueue(limit=limit, name="q"),
+        trace=trace,
+        loss=loss,
+    )
+    sink = SinkNode(sim)
+    link.connect(sink)
+    return link, sink
+
+
+def pkt(seqno=0, size=1000):
+    return data_packet(1, "S1", "K1", seqno, size=size)
+
+
+class TestDelays:
+    def test_single_packet_latency(self):
+        sim = Simulator()
+        # 1000 B at 8000 bps = 1 s transmission + 1 s propagation = 2 s.
+        link, sink = make_link(sim)
+        link.send(pkt())
+        sim.run()
+        assert sink.arrivals[0][0] == pytest.approx(2.0)
+
+    def test_transmission_time_scales_with_size(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.send(pkt(size=500))  # 0.5 s tx + 1 s prop
+        sim.run()
+        assert sink.arrivals[0][0] == pytest.approx(1.5)
+
+    def test_back_to_back_packets_are_serialised(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.send(pkt(0))
+        link.send(pkt(1))
+        sim.run()
+        times = [t for t, _ in sink.arrivals]
+        # Second packet waits one transmission time behind the first.
+        assert times[0] == pytest.approx(2.0)
+        assert times[1] == pytest.approx(3.0)
+
+    def test_pipelining_propagation(self):
+        sim = Simulator()
+        # Tiny transmission time, long propagation: both packets in
+        # flight simultaneously.
+        link, sink = make_link(sim, bandwidth_bps=8_000_000.0, delay=5.0)
+        link.send(pkt(0))
+        link.send(pkt(1))
+        sim.run()
+        times = [t for t, _ in sink.arrivals]
+        assert times[1] - times[0] == pytest.approx(0.001)
+
+    def test_delivery_order_preserved(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        for i in range(5):
+            link.send(pkt(i))
+        sim.run()
+        assert [p.seqno for _, p in sink.arrivals] == [0, 1, 2, 3, 4]
+
+
+class TestQueueing:
+    def test_overflow_drops_via_queue(self):
+        sim = Simulator()
+        link, sink = make_link(sim, limit=2)
+        for i in range(10):
+            link.send(pkt(i))
+        sim.run()
+        # One in the transmitter + 2 queued survive.
+        assert len(sink.arrivals) == 3
+
+    def test_busy_flag(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        assert not link.busy
+        link.send(pkt())
+        assert link.busy
+
+    def test_counters(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        link.send(pkt(0, size=100))
+        link.send(pkt(1, size=100))
+        sim.run()
+        assert link.packets_delivered == 2
+        assert link.bytes_delivered == 200
+
+
+class TestLossAndTracing:
+    def test_injected_loss_destroys_packet(self):
+        sim = Simulator()
+        link, sink = make_link(sim, loss=DeterministicLoss([(1, 0)]))
+        link.send(pkt(0))
+        link.send(pkt(1))
+        sim.run()
+        assert [p.seqno for _, p in sink.arrivals] == [1]
+
+    def test_drop_trace_record(self):
+        sim = Simulator()
+        trace = TraceBus()
+        drops = []
+        trace.subscribe("link.drop", drops.append)
+        link, _ = make_link(sim, limit=1, trace=trace)
+        for i in range(3):
+            link.send(pkt(i))
+        sim.run()
+        assert len(drops) == 1
+        assert drops[0].fields["reason"] == "overflow"
+
+    def test_injected_drop_trace_record(self):
+        sim = Simulator()
+        trace = TraceBus()
+        drops = []
+        trace.subscribe("link.injected_drop", drops.append)
+        link, _ = make_link(sim, loss=DeterministicLoss([(1, 0)]), trace=trace)
+        link.send(pkt(0))
+        sim.run()
+        assert len(drops) == 1
+
+
+class TestValidation:
+    def test_invalid_bandwidth(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            Link(sim, "x", 0.0, 1.0, DropTailQueue(1))
+
+    def test_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            Link(sim, "x", 1.0, -1.0, DropTailQueue(1))
+
+    def test_unconnected_link_raises_on_delivery(self):
+        sim = Simulator()
+        link = Link(sim, "x", 8000.0, 0.1, DropTailQueue(5))
+        link.send(pkt())
+        with pytest.raises(ConfigurationError):
+            sim.run()

@@ -1,0 +1,139 @@
+"""Unit tests for the loss-injection modules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.loss import AckLoss, Composite, DeterministicLoss, NoLoss, UniformLoss
+from repro.net.packet import ack_packet, data_packet
+from repro.sim.rng import RngStream
+
+
+def data(seqno, flow=1, retransmit=False):
+    return data_packet(flow, "S1", "K1", seqno, is_retransmit=retransmit)
+
+
+def ack(ackno, flow=1):
+    return ack_packet(flow, "K1", "S1", ackno)
+
+
+class TestNoLoss:
+    def test_passes_everything(self):
+        module = NoLoss()
+        assert not module.should_drop(data(1))
+        assert not module.should_drop(ack(1))
+
+
+class TestUniformLoss:
+    def test_rate_zero_never_drops(self):
+        module = UniformLoss(0.0, RngStream(1))
+        assert not any(module.should_drop(data(i)) for i in range(100))
+
+    def test_rate_one_always_drops_data(self):
+        module = UniformLoss(1.0, RngStream(1))
+        assert all(module.should_drop(data(i)) for i in range(10))
+
+    def test_acks_never_dropped(self):
+        module = UniformLoss(1.0, RngStream(1))
+        assert not module.should_drop(ack(1))
+
+    def test_flow_filter(self):
+        module = UniformLoss(1.0, RngStream(1), flow_id=2)
+        assert not module.should_drop(data(1, flow=1))
+        assert module.should_drop(data(1, flow=2))
+
+    def test_retransmit_exemption(self):
+        module = UniformLoss(1.0, RngStream(1), drop_retransmits=False)
+        assert not module.should_drop(data(1, retransmit=True))
+        assert module.should_drop(data(1, retransmit=False))
+
+    def test_approximate_rate(self):
+        module = UniformLoss(0.2, RngStream(7))
+        drops = sum(module.should_drop(data(i)) for i in range(10_000))
+        assert 1500 < drops < 2500
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformLoss(1.5, RngStream(1))
+
+    def test_drop_counter(self):
+        module = UniformLoss(1.0, RngStream(1))
+        module.should_drop(data(1))
+        module.should_drop(data(2))
+        assert module.injected_drops == 2
+
+
+class TestDeterministicLoss:
+    def test_drops_listed_first_transmission(self):
+        module = DeterministicLoss([(1, 5)])
+        assert module.should_drop(data(5))
+
+    def test_retransmission_passes(self):
+        module = DeterministicLoss([(1, 5)])
+        module.should_drop(data(5))
+        assert not module.should_drop(data(5, retransmit=True))
+        assert not module.should_drop(data(5))
+
+    def test_unlisted_passes(self):
+        module = DeterministicLoss([(1, 5)])
+        assert not module.should_drop(data(4))
+
+    def test_flow_specific(self):
+        module = DeterministicLoss([(2, 5)])
+        assert not module.should_drop(data(5, flow=1))
+        assert module.should_drop(data(5, flow=2))
+
+    def test_acks_pass(self):
+        module = DeterministicLoss([(1, 5)])
+        assert not module.should_drop(ack(5))
+
+    def test_pending_and_executed(self):
+        module = DeterministicLoss([(1, 5), (1, 6)])
+        module.should_drop(data(5))
+        assert module.pending == {(1, 6)}
+        assert module.executed == {(1, 5)}
+
+
+class TestAckLoss:
+    def test_drop_by_index(self):
+        module = AckLoss(drop_indices={1, 3})
+        results = [module.should_drop(ack(i)) for i in range(5)]
+        assert results == [False, True, False, True, False]
+
+    def test_data_never_dropped(self):
+        module = AckLoss(rate=1.0, rng=RngStream(1))
+        assert not module.should_drop(data(1))
+
+    def test_rate_based(self):
+        module = AckLoss(rate=1.0, rng=RngStream(1))
+        assert module.should_drop(ack(1))
+
+    def test_flow_filter(self):
+        module = AckLoss(drop_indices={0}, flow_id=2)
+        assert not module.should_drop(ack(1, flow=1))
+        assert module.should_drop(ack(1, flow=2))
+
+    def test_indices_counted_per_flow(self):
+        module = AckLoss(drop_indices={0})
+        assert module.should_drop(ack(1, flow=1))
+        assert module.should_drop(ack(1, flow=2))  # each flow has its own index
+
+    def test_rate_without_rng_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AckLoss(rate=0.5)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AckLoss(rate=-0.1, rng=RngStream(1))
+
+
+class TestComposite:
+    def test_any_module_can_drop(self):
+        composite = Composite(DeterministicLoss([(1, 5)]), DeterministicLoss([(1, 7)]))
+        assert composite.should_drop(data(5))
+        assert composite.should_drop(data(7))
+        assert not composite.should_drop(data(6))
+
+    def test_counts_drops(self):
+        composite = Composite(DeterministicLoss([(1, 5)]))
+        composite.should_drop(data(5))
+        assert composite.injected_drops == 1

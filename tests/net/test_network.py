@@ -1,0 +1,120 @@
+"""Unit tests for the network container and shortest-path routing."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.network import Network
+from repro.net.node import Agent
+from repro.net.packet import data_packet
+from repro.sim.engine import Simulator
+
+
+class RecordingAgent(Agent):
+    def __init__(self, flow_id):
+        super().__init__(flow_id)
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def linear_network(sim, names, bandwidth=1e6, delay=0.001):
+    """hosts at the ends, routers in the middle: A - R... - B."""
+    net = Network(sim)
+    net.add_host(names[0])
+    for name in names[1:-1]:
+        net.add_router(name)
+    net.add_host(names[-1])
+    for a, b in zip(names, names[1:]):
+        net.add_duplex_link(a, b, bandwidth, delay)
+    net.compute_routes()
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, sim):
+        net = Network(sim)
+        net.add_host("A")
+        with pytest.raises(TopologyError):
+            net.add_router("A")
+
+    def test_link_requires_existing_endpoints(self, sim):
+        net = Network(sim)
+        net.add_host("A")
+        with pytest.raises(TopologyError):
+            net.add_link("A", "B", 1e6, 0.001)
+
+    def test_duplicate_link_rejected(self, sim):
+        net = Network(sim)
+        net.add_host("A")
+        net.add_host("B")
+        net.add_link("A", "B", 1e6, 0.001)
+        with pytest.raises(TopologyError):
+            net.add_link("A", "B", 1e6, 0.001)
+
+    def test_link_lookup(self, sim):
+        net = Network(sim)
+        net.add_host("A")
+        net.add_host("B")
+        forward, backward = net.add_duplex_link("A", "B", 1e6, 0.001)
+        assert net.link("A", "B") is forward
+        assert net.link("B", "A") is backward
+        with pytest.raises(TopologyError):
+            net.link("A", "C")
+
+    def test_host_lookup_type_checked(self, sim):
+        net = Network(sim)
+        net.add_router("R")
+        with pytest.raises(TopologyError):
+            net.host("R")
+
+
+class TestRouting:
+    def test_multi_hop_delivery(self, sim):
+        net = linear_network(sim, ["A", "R1", "R2", "B"])
+        agent = RecordingAgent(1)
+        net.host("B").register(agent)
+        sender = RecordingAgent(1)
+        net.host("A").register(sender)
+        sender.send(data_packet(1, "A", "B", 0))
+        sim.run()
+        assert len(agent.received) == 1
+
+    def test_reverse_path_delivery(self, sim):
+        net = linear_network(sim, ["A", "R1", "B"])
+        agent_a = RecordingAgent(1)
+        net.host("A").register(agent_a)
+        agent_b = RecordingAgent(1)
+        net.host("B").register(agent_b)
+        agent_b.send(data_packet(1, "B", "A", 0))
+        sim.run()
+        assert len(agent_a.received) == 1
+
+    def test_shortest_delay_path_chosen(self, sim):
+        net = Network(sim)
+        for name in ["A", "FAST", "SLOW", "B"]:
+            if name in ("A", "B"):
+                net.add_host(name)
+            else:
+                net.add_router(name)
+        net.add_duplex_link("A", "FAST", 1e6, 0.001)
+        net.add_duplex_link("FAST", "B", 1e6, 0.001)
+        net.add_duplex_link("A", "SLOW", 1e6, 0.5)
+        net.add_duplex_link("SLOW", "B", 1e6, 0.5)
+        net.compute_routes()
+        assert net.nodes["A"].routes["B"].name == "A->FAST"
+
+    def test_routes_cover_all_reachable_nodes(self, sim):
+        net = linear_network(sim, ["A", "R1", "R2", "B"])
+        assert set(net.nodes["A"].routes) == {"R1", "R2", "B"}
+
+    def test_recompute_after_adding_nodes(self, sim):
+        net = linear_network(sim, ["A", "R1", "B"])
+        net.add_host("C")
+        net.add_duplex_link("R1", "C", 1e6, 0.001)
+        net.compute_routes()
+        assert "C" in net.nodes["A"].routes
+
+    def test_validate_passes_on_wired_network(self, sim):
+        net = linear_network(sim, ["A", "R1", "B"])
+        net.validate()

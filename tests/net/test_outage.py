@@ -1,0 +1,118 @@
+"""Tests for link outages — a natural burst-loss generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.link import Link
+from repro.net.packet import data_packet
+from repro.net.queues import DropTailQueue
+from repro.net.topology import DumbbellParams
+from repro.sim.engine import Simulator
+
+
+class SinkNode:
+    def __init__(self):
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append(packet)
+
+
+def make_link(sim):
+    link = Link(sim, "A->B", 1e6, 0.001, DropTailQueue(100))
+    sink = SinkNode()
+    link.connect(sink)
+    return link, sink
+
+
+class TestOutageMechanics:
+    def test_packets_dropped_while_down(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.set_down()
+        link.send(data_packet(1, "S", "K", 0))
+        sim.run()
+        assert sink.arrivals == []
+        assert link.outage_drops == 1
+
+    def test_packets_flow_after_up(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.set_down()
+        link.set_up()
+        link.send(data_packet(1, "S", "K", 0))
+        sim.run()
+        assert len(sink.arrivals) == 1
+
+    def test_queued_packets_survive_outage(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.send(data_packet(1, "S", "K", 0))  # queued/transmitting
+        link.set_down()
+        sim.run()
+        assert len(sink.arrivals) == 1  # already accepted: delivered
+
+    def test_scheduled_outage_window(self):
+        sim = Simulator()
+        link, sink = make_link(sim)
+        link.schedule_outage(start=1.0, duration=0.5)
+        sim.schedule(0.5, link.send, data_packet(1, "S", "K", 0))   # before
+        sim.schedule(1.2, link.send, data_packet(1, "S", "K", 1))   # during
+        sim.schedule(2.0, link.send, data_packet(1, "S", "K", 2))   # after
+        sim.run()
+        assert sorted(p.seqno for p in sink.arrivals) == [0, 2]
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        with pytest.raises(ConfigurationError):
+            link.schedule_outage(start=1.0, duration=-1.0)
+
+
+class TestOutageRecovery:
+    @pytest.mark.parametrize("variant", ["tahoe", "newreno", "sack", "rr"])
+    def test_transfer_survives_short_outage(self, variant):
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant=variant, amount_packets=200)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        )
+        # 150 ms forward-path outage mid-transfer: a raw loss burst.
+        scenario.dumbbell.forward_link.schedule_outage(start=1.0, duration=0.15)
+        scenario.sim.run(until=300.0)
+        sender, _ = scenario.flow(1)
+        assert sender.completed, variant
+        assert scenario.receivers[1].delivered == 200
+        assert scenario.dumbbell.forward_link.outage_drops > 0
+
+    def test_rr_outage_burst_single_episode(self):
+        """A short outage is exactly the in-window burst RR targets:
+        one recovery episode, no timeout, when enough of the window
+        survives to keep the ACK clock alive."""
+        from repro.config import TcpConfig
+
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="rr", amount_packets=400)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+            default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+        )
+        # Short outage: clips a few packets from the middle of a window.
+        scenario.dumbbell.forward_link.schedule_outage(start=1.5, duration=0.05)
+        scenario.sim.run(until=300.0)
+        sender, stats = scenario.flow(1)
+        assert sender.completed
+        drops = scenario.dumbbell.forward_link.outage_drops
+        assert drops >= 2
+        assert sender.timeouts == 0
+        assert len(stats.episodes) == 1
+
+    def test_ack_path_outage(self):
+        """Losing a stretch of ACKs must not break reliability."""
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="rr", amount_packets=200)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        )
+        scenario.dumbbell.reverse_link.schedule_outage(start=1.0, duration=0.2)
+        scenario.sim.run(until=300.0)
+        sender, _ = scenario.flow(1)
+        assert sender.completed

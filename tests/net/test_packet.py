@@ -1,0 +1,80 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.net.packet import (
+    ACK,
+    DATA,
+    Packet,
+    SackBlock,
+    ack_packet,
+    data_packet,
+    merge_ranges,
+)
+
+
+class TestPacketConstruction:
+    def test_data_packet_defaults(self):
+        packet = data_packet(1, "S1", "K1", seqno=5)
+        assert packet.is_data and not packet.is_ack
+        assert packet.kind == DATA
+        assert packet.size == 1000
+        assert packet.seqno == 5
+        assert not packet.is_retransmit
+
+    def test_ack_packet_defaults(self):
+        packet = ack_packet(1, "K1", "S1", ackno=7)
+        assert packet.is_ack and not packet.is_data
+        assert packet.kind == ACK
+        assert packet.size == 40
+        assert packet.ackno == 7
+        assert packet.sack_blocks == []
+
+    def test_retransmit_flag(self):
+        packet = data_packet(1, "S1", "K1", seqno=5, is_retransmit=True)
+        assert packet.is_retransmit
+
+    def test_uids_are_unique(self):
+        a = data_packet(1, "S1", "K1", 0)
+        b = data_packet(1, "S1", "K1", 0)
+        assert a.uid != b.uid
+
+    def test_ack_carries_sack_blocks(self):
+        packet = ack_packet(1, "K1", "S1", 3, sack_blocks=[SackBlock(5, 8)])
+        assert packet.sack_blocks == [SackBlock(5, 8)]
+
+
+class TestSackBlock:
+    def test_contains(self):
+        block = SackBlock(5, 8)
+        assert 5 in block and 7 in block
+        assert 8 not in block and 4 not in block
+
+    def test_count(self):
+        assert SackBlock(5, 8).count == 3
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            SackBlock(5, 5)
+        with pytest.raises(ValueError):
+            SackBlock(5, 3)
+
+
+class TestMergeRanges:
+    def test_empty(self):
+        assert merge_ranges([]) == []
+
+    def test_disjoint_sorted(self):
+        assert merge_ranges([(1, 2), (4, 6)]) == [(1, 2), (4, 6)]
+
+    def test_adjacent_merge(self):
+        assert merge_ranges([(1, 3), (3, 5)]) == [(1, 5)]
+
+    def test_overlapping_merge(self):
+        assert merge_ranges([(1, 4), (2, 6)]) == [(1, 6)]
+
+    def test_unsorted_input(self):
+        assert merge_ranges([(4, 6), (1, 2), (2, 4)]) == [(1, 6)]
+
+    def test_contained_range(self):
+        assert merge_ranges([(1, 10), (3, 5)]) == [(1, 10)]

@@ -1,0 +1,70 @@
+"""Unit tests for queue disciplines (base + drop-tail)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import data_packet
+from repro.net.queues import DropTailQueue
+
+
+def pkt(seqno=0, flow=1):
+    return data_packet(flow, "S1", "K1", seqno)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(limit=10)
+        for i in range(3):
+            assert queue.enqueue(pkt(i))
+        assert [queue.dequeue().seqno for _ in range(3)] == [0, 1, 2]
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue(limit=2).dequeue() is None
+
+    def test_drops_when_full(self):
+        queue = DropTailQueue(limit=2)
+        assert queue.enqueue(pkt(0))
+        assert queue.enqueue(pkt(1))
+        assert not queue.enqueue(pkt(2))
+        assert len(queue) == 2
+        assert queue.drops == 1
+
+    def test_tail_drop_keeps_earlier_packets(self):
+        queue = DropTailQueue(limit=2)
+        queue.enqueue(pkt(0))
+        queue.enqueue(pkt(1))
+        queue.enqueue(pkt(2))
+        assert queue.dequeue().seqno == 0
+
+    def test_space_freed_by_dequeue(self):
+        queue = DropTailQueue(limit=1)
+        queue.enqueue(pkt(0))
+        queue.dequeue()
+        assert queue.enqueue(pkt(1))
+
+    def test_drop_callback_invoked(self):
+        queue = DropTailQueue(limit=1)
+        dropped = []
+        queue.on_drop = lambda packet, reason: dropped.append((packet.seqno, reason))
+        queue.enqueue(pkt(0))
+        queue.enqueue(pkt(1))
+        assert dropped == [(1, "overflow")]
+
+    def test_counters(self):
+        queue = DropTailQueue(limit=1)
+        queue.enqueue(pkt(0))
+        queue.enqueue(pkt(1))
+        queue.dequeue()
+        assert (queue.enqueues, queue.dequeues, queue.drops) == (1, 1, 1)
+        queue.reset_counters()
+        assert (queue.enqueues, queue.dequeues, queue.drops) == (0, 0, 0)
+
+    def test_is_empty(self):
+        queue = DropTailQueue(limit=1)
+        assert queue.is_empty
+        queue.enqueue(pkt(0))
+        assert not queue.is_empty
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(limit=0)

@@ -1,0 +1,118 @@
+"""Unit tests for the RED gateway."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import data_packet
+from repro.net.red import RedParams, RedQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+def pkt(seqno=0):
+    return data_packet(1, "S1", "K1", seqno)
+
+
+def make_queue(sim=None, **overrides):
+    sim = sim or Simulator()
+    params = RedParams(**overrides) if overrides else RedParams()
+    return RedQueue(sim, params, RngStream(1, "red")), sim
+
+
+class TestRedParams:
+    def test_paper_defaults(self):
+        params = RedParams()
+        assert params.min_th == 5.0
+        assert params.max_th == 20.0
+        assert params.max_p == 0.02
+        assert params.weight == 0.002
+        assert params.limit == 25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"weight": 1.5},
+            {"min_th": 10.0, "max_th": 5.0},
+            {"max_p": 0.0},
+            {"max_p": 2.0},
+            {"limit": 0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RedParams(**kwargs).validate()
+
+
+class TestRedBehaviour:
+    def test_accepts_below_min_threshold(self):
+        queue, _ = make_queue()
+        for i in range(4):
+            assert queue.enqueue(pkt(i))
+        assert queue.drops == 0
+
+    def test_average_tracks_queue_slowly(self):
+        queue, _ = make_queue()
+        for i in range(10):
+            queue.enqueue(pkt(i))
+        # With w=0.002 the average stays far below the instantaneous size.
+        assert 0 < queue.avg < 1.0
+
+    def test_forced_drop_above_max_threshold(self):
+        queue, _ = make_queue(weight=1.0)  # avg == instantaneous queue
+        for i in range(30):
+            queue.enqueue(pkt(i))
+        # With avg above max_th every arrival is dropped.
+        assert queue.forced_drops > 0
+
+    def test_overflow_drop_at_limit(self):
+        queue, _ = make_queue(limit=5, min_th=100, max_th=200)
+        for i in range(10):
+            queue.enqueue(pkt(i))
+        assert len(queue) == 5
+        assert queue.overflow_drops == 5
+
+    def test_early_drops_in_between_region(self):
+        # Force avg into [min_th, max_th) with weight=1 and a high max_p.
+        queue, _ = make_queue(weight=1.0, min_th=2, max_th=50, max_p=0.5, limit=100)
+        for i in range(200):
+            queue.enqueue(pkt(i))
+            if len(queue) > 10:
+                queue.dequeue()
+        assert queue.early_drops > 0
+
+    def test_no_drops_when_idle_and_small(self):
+        queue, sim = make_queue()
+        for burst in range(3):
+            queue.enqueue(pkt(burst))
+            queue.dequeue()
+            sim.run(until=sim.now + 1.0)
+        assert queue.drops == 0
+
+    def test_idle_period_decays_average(self):
+        queue, sim = make_queue(weight=0.5)
+        for i in range(10):
+            queue.enqueue(pkt(i))
+        avg_before = queue.avg
+        while queue.dequeue() is not None:
+            pass
+        sim.run(until=sim.now + 10.0)  # long idle period
+        queue.enqueue(pkt(99))
+        assert queue.avg < avg_before
+
+    def test_count_spreads_drops(self):
+        # With avg pinned in the drop region, the count mechanism must
+        # guarantee a drop within 1/pb packets (pa -> 1 as count grows).
+        queue, _ = make_queue(weight=1.0, min_th=1, max_th=100, max_p=0.1, limit=1000)
+        for i in range(60):
+            queue.enqueue(pkt(i))
+        assert queue.early_drops >= 1
+
+    def test_dequeue_marks_idle_start(self):
+        queue, sim = make_queue()
+        queue.enqueue(pkt(0))
+        queue.dequeue()
+        assert queue.is_empty
+        # Entering idle must not crash subsequent enqueues.
+        sim.run(until=sim.now + 0.5)
+        assert queue.enqueue(pkt(1))

@@ -1,0 +1,128 @@
+"""Tests for gentle RED and the jitter injector."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.errors import ConfigurationError
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.packet import ack_packet, data_packet
+from repro.net.red import RedParams, RedQueue
+from repro.net.reorder import JitterReorderer
+from repro.net.topology import DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+def red(sim=None, **overrides):
+    sim = sim or Simulator()
+    return RedQueue(sim, RedParams(**overrides), RngStream(1, "red"))
+
+
+class TestGentleRed:
+    def test_classic_forces_drops_above_max_th(self):
+        queue = red(weight=1.0, min_th=2, max_th=5, max_p=0.1, limit=100)
+        for i in range(30):
+            queue.enqueue(data_packet(1, "S", "K", i))
+        assert queue.forced_drops > 0
+
+    def test_gentle_region_marks_probabilistically(self):
+        # Pin avg into (max_th, 2*max_th): gentle drops instead of forced.
+        queue = red(
+            weight=1.0, min_th=2, max_th=20, max_p=0.05, limit=100, gentle=True
+        )
+        accepted = 0
+        for i in range(60):
+            packet = data_packet(1, "S", "K", i)
+            if queue.enqueue(packet):
+                accepted += 1
+            if len(queue) > 30:  # keep instantaneous (== avg) in (20, 40)
+                queue.dequeue()
+        # In the gentle band some packets still get through (classic RED
+        # would force-drop every one of them above max_th).
+        assert queue.early_drops > 0
+        assert accepted > 0
+        assert queue.forced_drops == 0
+
+    def test_gentle_forces_beyond_twice_max_th(self):
+        # Unit-test the threshold logic: with the average pinned beyond
+        # 2*max_th, gentle RED force-drops like classic RED.
+        queue = red(weight=1e-9, min_th=1, max_th=3, max_p=0.05, limit=100, gentle=True)
+        queue.avg = 6.5  # > 2*max_th; near-zero weight keeps it there
+        queue.enqueue(data_packet(1, "S", "K", 0))
+        assert queue.forced_drops == 1
+
+    def test_gentle_with_ecn_marks(self):
+        queue = red(
+            weight=1.0, min_th=2, max_th=10, max_p=0.2, limit=200,
+            gentle=True, ecn=True,
+        )
+        for i in range(80):
+            packet = data_packet(1, "S", "K", i)
+            packet.ecn_capable = True
+            queue.enqueue(packet)
+            if len(queue) > 15:
+                queue.dequeue()
+        assert queue.ecn_marks > 0
+        assert queue.early_drops == 0
+
+
+class TestJitter:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JitterReorderer(RngStream(1), max_jitter=-0.1)
+
+    def test_zero_jitter_is_passthrough(self):
+        jitter = JitterReorderer(RngStream(1), max_jitter=0.0)
+        assert jitter.extra_delay(data_packet(1, "S", "K", 0)) == 0.0
+        assert jitter.reordered == 0
+
+    def test_data_jittered_within_bound(self):
+        jitter = JitterReorderer(RngStream(1), max_jitter=0.02)
+        delays = [jitter.extra_delay(data_packet(1, "S", "K", i)) for i in range(100)]
+        assert all(0.0 <= d <= 0.02 for d in delays)
+        assert max(delays) > 0.0
+
+    def test_acks_exempt_by_default(self):
+        jitter = JitterReorderer(RngStream(1), max_jitter=0.02)
+        assert jitter.extra_delay(ack_packet(1, "K", "S", 0)) == 0.0
+        jitter_all = JitterReorderer(RngStream(1), max_jitter=0.02, include_acks=True)
+        assert jitter_all.extra_delay(ack_packet(1, "K", "S", 0)) >= 0.0
+
+    def test_jitter_inflates_rto_estimate(self):
+        """Path-delay variance must show up in RTTVAR and the RTO."""
+
+        def final_rto(max_jitter):
+            # Fast bottleneck: queueing delay negligible, so the RTT
+            # variance the estimator sees comes from the jitter alone.
+            scenario = build_dumbbell_scenario(
+                flows=[FlowSpec(variant="newreno", amount_packets=150)],
+                params=DumbbellParams(
+                    n_pairs=1,
+                    buffer_packets=200,
+                    bottleneck_bandwidth_bps=10e6,
+                ),
+                default_config=TcpConfig(initial_ssthresh=10.0),
+            )
+            scenario.dumbbell.forward_link.reorder = JitterReorderer(
+                RngStream(3, f"jitter-{max_jitter}"), max_jitter=max_jitter
+            )
+            scenario.sim.run(until=120.0)
+            sender, _ = scenario.flow(1)
+            assert sender.completed
+            return sender.rto.srtt + 4 * sender.rto.rttvar
+
+        assert final_rto(0.05) > final_rto(0.0)
+
+    def test_transfer_reliable_under_heavy_jitter(self):
+        for variant in ("newreno", "sack", "rr"):
+            scenario = build_dumbbell_scenario(
+                flows=[FlowSpec(variant=variant, amount_packets=150)],
+                params=DumbbellParams(n_pairs=1, buffer_packets=100),
+            )
+            scenario.dumbbell.forward_link.reorder = JitterReorderer(
+                RngStream(5, variant), max_jitter=0.03
+            )
+            scenario.sim.run(until=300.0)
+            sender, _ = scenario.flow(1)
+            assert sender.completed, variant
+            assert scenario.receivers[1].delivered == 150

@@ -1,0 +1,118 @@
+"""Tests for reordering injection — including the paper's §2.2.2 claim
+that RR's ndup accounting survives out-of-order delivery."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.errors import ConfigurationError
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.loss import DeterministicLoss
+from repro.net.packet import ack_packet, data_packet
+from repro.net.reorder import DeterministicReorderer, RandomReorderer
+from repro.net.topology import DumbbellParams
+from repro.sim.rng import RngStream
+
+
+class TestReordererUnits:
+    def test_random_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomReorderer(RngStream(1), probability=1.5)
+        with pytest.raises(ConfigurationError):
+            RandomReorderer(RngStream(1), probability=0.5, delay=-1.0)
+
+    def test_random_probability_one_delays_all_data(self):
+        reorderer = RandomReorderer(RngStream(1), probability=1.0, delay=0.05)
+        assert reorderer.extra_delay(data_packet(1, "S", "K", 0)) == 0.05
+        assert reorderer.extra_delay(ack_packet(1, "K", "S", 0)) == 0.0
+        assert reorderer.reordered == 1
+
+    def test_random_flow_filter(self):
+        reorderer = RandomReorderer(RngStream(1), probability=1.0, flow_id=2)
+        assert reorderer.extra_delay(data_packet(1, "S", "K", 0)) == 0.0
+        assert reorderer.extra_delay(data_packet(2, "S", "K", 0)) > 0.0
+
+    def test_deterministic_first_pass_only(self):
+        reorderer = DeterministicReorderer([(1, 5)], delay=0.03)
+        assert reorderer.extra_delay(data_packet(1, "S", "K", 5)) == 0.03
+        assert reorderer.extra_delay(data_packet(1, "S", "K", 5)) == 0.0
+
+    def test_deterministic_skips_retransmissions(self):
+        reorderer = DeterministicReorderer([(1, 5)])
+        rtx = data_packet(1, "S", "K", 5, is_retransmit=True)
+        assert reorderer.extra_delay(rtx) == 0.0
+
+
+class TestReorderingOnTheWire:
+    def run_with_reorder(self, variant, targets, packets=200, loss=None):
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant=variant, amount_packets=packets)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=50),
+            default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+            forward_loss=loss,
+        )
+        scenario.dumbbell.forward_link.reorder = DeterministicReorderer(
+            targets, delay=0.03
+        )
+        scenario.sim.run(until=300.0)
+        return scenario
+
+    def test_reordering_causes_out_of_order_arrivals(self):
+        scenario = self.run_with_reorder("newreno", [(1, 50)])
+        receiver = scenario.receivers[1]
+        assert receiver.duplicates_received >= 0  # completed without error
+        sender, _ = scenario.flow(1)
+        assert sender.completed
+        assert receiver.delivered == 200
+
+    def test_mild_reordering_does_not_trigger_fast_retransmit(self):
+        """A 2-position swap yields < 3 dup ACKs: no spurious recovery."""
+        scenario = self.run_with_reorder("rr", [(1, 50)])
+        sender, stats = scenario.flow(1)
+        assert sender.completed
+        assert len(stats.episodes) == 0
+        assert sender.retransmits == 0
+
+    def test_deep_reordering_triggers_spurious_retransmit(self):
+        """A long displacement generates >= 3 dup ACKs: classic TCP
+        (and RR) must treat it as loss — the packet is retransmitted
+        spuriously but the transfer still completes correctly."""
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="rr", amount_packets=200)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=50),
+            default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+        )
+        scenario.dumbbell.forward_link.reorder = DeterministicReorderer(
+            [(1, 50)], delay=0.2
+        )
+        scenario.sim.run(until=300.0)
+        sender, _ = scenario.flow(1)
+        assert sender.completed
+        assert sender.retransmits >= 1
+        assert scenario.receivers[1].delivered == 200
+
+    def test_rr_accounting_survives_reordering_during_recovery(self):
+        """Paper §2.2.2: reordering of the *new* packets sent during
+        recovery must not skew ndup and fabricate further losses."""
+        loss = DeterministicLoss([(1, 100), (1, 101), (1, 102)])
+        # Reorder two of the new packets RR sends during the probe.
+        scenario = self.run_with_reorder(
+            "rr", [(1, 126), (1, 128)], packets=400, loss=loss
+        )
+        sender, _ = scenario.flow(1)
+        assert sender.completed
+        assert sender.timeouts == 0
+        assert sender.further_losses_detected == 0  # no fabricated losses
+
+    def test_random_reordering_reliable_delivery(self):
+        for variant in ("newreno", "sack", "rr"):
+            scenario = build_dumbbell_scenario(
+                flows=[FlowSpec(variant=variant, amount_packets=150)],
+                params=DumbbellParams(n_pairs=1, buffer_packets=50),
+            )
+            scenario.dumbbell.forward_link.reorder = RandomReorderer(
+                RngStream(13, variant), probability=0.05, delay=0.015
+            )
+            scenario.sim.run(until=300.0)
+            sender, _ = scenario.flow(1)
+            assert sender.completed, variant
+            assert scenario.receivers[1].delivered == 150

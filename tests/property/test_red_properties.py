@@ -1,0 +1,92 @@
+"""Property-based tests for the RED gateway and scoreboard."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import SackBlock, data_packet
+from repro.net.red import RedParams, RedQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+from repro.tcp.scoreboard import Scoreboard
+
+
+class TestRedProperties:
+    @given(
+        arrivals=st.lists(st.booleans(), min_size=1, max_size=300),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_and_average_stay_bounded(self, arrivals, seed):
+        """For any enqueue/dequeue pattern: queue length never exceeds
+        the limit, and the EWMA average stays within [0, limit]."""
+        sim = Simulator()
+        queue = RedQueue(sim, RedParams(limit=25), RngStream(seed, "red"))
+        for index, enqueue in enumerate(arrivals):
+            if enqueue:
+                queue.enqueue(data_packet(1, "S", "K", index))
+            else:
+                queue.dequeue()
+            assert 0 <= len(queue) <= 25
+            assert 0.0 <= queue.avg <= 25.0
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_conservation(self, seed):
+        """enqueues + drops == arrivals, dequeues <= enqueues."""
+        sim = Simulator()
+        queue = RedQueue(sim, RedParams(limit=10), RngStream(seed, "red"))
+        arrivals = 200
+        for index in range(arrivals):
+            queue.enqueue(data_packet(1, "S", "K", index))
+            if index % 3 == 0:
+                queue.dequeue()
+        assert queue.enqueues + queue.drops == arrivals
+        assert queue.dequeues <= queue.enqueues
+
+
+sack_blocks = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(1, 10)).map(
+        lambda t: SackBlock(t[0], t[0] + t[1])
+    ),
+    max_size=4,
+)
+
+
+class TestScoreboardProperties:
+    @given(
+        updates=st.lists(st.tuples(st.integers(0, 40), sack_blocks), min_size=1, max_size=20)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nothing_below_cumulative_ack_survives(self, updates):
+        board = Scoreboard()
+        highest_ack = 0
+        for ackno, blocks in updates:
+            highest_ack = max(highest_ack, ackno)
+            board.update(ackno, blocks)
+        # Monotone cumulative semantics: re-apply the highest ack seen.
+        board.update(highest_ack, [])
+        for seqno in range(highest_ack):
+            assert not board.is_sacked(seqno)
+
+    @given(
+        ackno=st.integers(0, 20),
+        blocks=sack_blocks,
+        snd_nxt=st.integers(21, 70),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pipe_bounded_by_outstanding(self, ackno, blocks, snd_nxt):
+        board = Scoreboard()
+        board.update(ackno, blocks)
+        pipe = board.pipe(ackno, snd_nxt)
+        outstanding = snd_nxt - ackno
+        assert 0 <= pipe <= outstanding  # no retransmissions marked
+
+    @given(blocks=sack_blocks)
+    @settings(max_examples=100, deadline=None)
+    def test_next_retransmission_is_a_real_hole(self, blocks):
+        board = Scoreboard()
+        board.update(0, blocks)
+        hole = board.next_retransmission(0, 60)
+        if hole is not None:
+            assert not board.is_sacked(hole)
+            assert board.is_lost(hole)

@@ -1,0 +1,112 @@
+"""Property-based tests of the RR state machine's invariants, checked
+continuously over arbitrary loss patterns via an instrumented sender:
+
+* ``actnum >= 0`` and ``ndup >= 0`` always;
+* ``actnum == 0`` during the retreat sub-phase (the paper's own
+  sub-phase discriminator, Section 2.2.1);
+* ``recover`` only ever advances within an episode;
+* cwnd is untouched between entry and exit of an episode;
+* outside recovery the phase is NORMAL and actnum is 0.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import TcpConfig
+from repro.core.robust_recovery import RobustRecoverySender, RrPhase
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.loss import AckLoss, DeterministicLoss
+from repro.net.packet import Packet
+from repro.net.topology import DumbbellParams
+
+TRANSFER = 60
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class CheckedRR(RobustRecoverySender):
+    """RR sender that asserts its invariants on every ACK."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.violations = []
+        self._cwnd_at_entry = None
+        self._recover_trace = []
+
+    def receive(self, packet: Packet) -> None:
+        was_in_recovery = self.in_recovery
+        cwnd_before = self.cwnd
+        super().receive(packet)
+        self._check(was_in_recovery, cwnd_before)
+
+    def _check(self, was_in_recovery, cwnd_before):
+        if self.actnum < 0:
+            self.violations.append(f"actnum negative: {self.actnum}")
+        if self.ndup < 0:
+            self.violations.append(f"ndup negative: {self.ndup}")
+        if self.phase is RrPhase.RETREAT and self.actnum != 0:
+            self.violations.append("actnum nonzero during retreat")
+        if not self.in_recovery:
+            if self.phase is not RrPhase.NORMAL:
+                self.violations.append("phase not NORMAL outside recovery")
+            if self.actnum != 0:
+                self.violations.append("actnum nonzero outside recovery")
+        # cwnd frozen while recovery continues (no entry/exit this ACK).
+        if was_in_recovery and self.in_recovery and self.cwnd != cwnd_before:
+            self.violations.append("cwnd changed during recovery")
+        if self.in_recovery:
+            if self._recover_trace and self.recover < self._recover_trace[-1]:
+                self.violations.append("recover moved backwards in episode")
+            self._recover_trace.append(self.recover)
+        else:
+            self._recover_trace.clear()
+
+
+drop_sets = st.sets(st.integers(min_value=0, max_value=TRANSFER - 1), max_size=12)
+ack_drop_sets = st.sets(st.integers(min_value=0, max_value=80), max_size=8)
+
+
+def run_checked(drops, ack_drops=frozenset()):
+    forward = DeterministicLoss([(1, s) for s in drops])
+    reverse = AckLoss(drop_indices=ack_drops) if ack_drops else None
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant="rr", amount_packets=TRANSFER)],
+        params=DumbbellParams(n_pairs=1, buffer_packets=100),
+        default_config=TcpConfig(receiver_window=64),
+        forward_loss=forward,
+        reverse_loss=reverse,
+        sender_overrides={1: CheckedRR},
+    )
+    scenario.sim.run(until=600.0)
+    return scenario
+
+
+class TestRrInvariants:
+    @RELAXED
+    @given(drops=drop_sets)
+    def test_invariants_hold_under_data_loss(self, drops):
+        scenario = run_checked(drops)
+        sender, _ = scenario.flow(1)
+        assert sender.violations == []
+        assert sender.completed
+
+    @RELAXED
+    @given(drops=drop_sets, ack_drops=ack_drop_sets)
+    def test_invariants_hold_under_combined_loss(self, drops, ack_drops):
+        scenario = run_checked(drops, frozenset(ack_drops))
+        sender, _ = scenario.flow(1)
+        assert sender.violations == []
+        assert sender.completed
+
+    @RELAXED
+    @given(drops=drop_sets)
+    def test_further_loss_count_bounded_by_real_drops(self, drops):
+        """Without ACK losses, RR must not report more further losses
+        than packets actually dropped."""
+        scenario = run_checked(drops)
+        sender, _ = scenario.flow(1)
+        assert sender.further_losses_detected <= len(drops)

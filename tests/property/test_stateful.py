@@ -1,0 +1,112 @@
+"""Stateful (rule-based) hypothesis tests: random interleavings of
+operations against the engine and the scoreboard, with invariants
+checked after every step."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.net.packet import SackBlock
+from repro.sim.engine import Simulator
+from repro.tcp.scoreboard import Scoreboard
+
+
+class SimulatorMachine(RuleBasedStateMachine):
+    """Random schedule/cancel/step/run interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.fired = []
+        self.scheduled = []
+        self.cancelled = set()
+
+    @rule(delay=st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def schedule(self, delay):
+        token = len(self.scheduled)
+        event = self.sim.schedule(delay, self.fired.append, token)
+        self.scheduled.append((token, event, self.sim.now + delay))
+
+    @rule(index=st.integers(min_value=0, max_value=10_000))
+    def cancel_some_event(self, index):
+        if not self.scheduled:
+            return
+        token, event, _ = self.scheduled[index % len(self.scheduled)]
+        if event.pending:
+            event.cancel()
+            self.cancelled.add(token)
+
+    @rule()
+    def step_once(self):
+        self.sim.step()
+
+    @rule(horizon=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def run_for_a_while(self, horizon):
+        self.sim.run(until=self.sim.now + horizon)
+
+    @invariant()
+    def fired_events_are_due_and_not_cancelled(self):
+        for token in self.fired:
+            assert token not in self.cancelled
+            _, event, due = self.scheduled[token]
+            assert due <= self.sim.now + 1e-9
+
+    @invariant()
+    def fired_in_time_order(self):
+        times = [self.scheduled[token][2] for token in self.fired]
+        assert times == sorted(times)
+
+    @invariant()
+    def no_duplicates(self):
+        assert len(self.fired) == len(set(self.fired))
+
+
+class ScoreboardMachine(RuleBasedStateMachine):
+    """Random SACK updates, retransmission marks and cumulative ACKs."""
+
+    def __init__(self):
+        super().__init__()
+        self.board = Scoreboard()
+        self.cumulative = 0
+
+    @rule(start=st.integers(0, 80), length=st.integers(1, 10))
+    def sack_block(self, start, length):
+        self.board.update(self.cumulative, [SackBlock(start, start + length)])
+
+    @rule(advance=st.integers(0, 10))
+    def cumulative_ack(self, advance):
+        self.cumulative += advance
+        self.board.update(self.cumulative, [])
+
+    @rule(seqno=st.integers(0, 90))
+    def mark_retransmitted(self, seqno):
+        if seqno >= self.cumulative:
+            self.board.mark_retransmitted(seqno)
+
+    @invariant()
+    def nothing_below_cumulative(self):
+        for seqno in range(max(0, self.cumulative - 15), self.cumulative):
+            assert not self.board.is_sacked(seqno)
+            assert not self.board.was_retransmitted(seqno)
+
+    @invariant()
+    def pipe_bounds(self):
+        snd_nxt = self.cumulative + 40
+        pipe = self.board.pipe(self.cumulative, snd_nxt)
+        assert 0 <= pipe <= 2 * (snd_nxt - self.cumulative)
+
+    @invariant()
+    def next_retransmission_is_valid(self):
+        snd_nxt = self.cumulative + 40
+        hole = self.board.next_retransmission(self.cumulative, snd_nxt)
+        if hole is not None:
+            assert self.cumulative <= hole < snd_nxt
+            assert self.board.is_lost(hole)
+            assert not self.board.was_retransmitted(hole)
+
+
+TestSimulatorStateful = SimulatorMachine.TestCase
+TestSimulatorStateful.settings = settings(max_examples=40, deadline=None)
+
+TestScoreboardStateful = ScoreboardMachine.TestCase
+TestScoreboardStateful.settings = settings(max_examples=40, deadline=None)

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(1.0, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(3.5, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(3.5)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(4.0)]
+
+    def test_schedule_from_within_event(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [pytest.approx(t) for t in (1.0, 2.0, 3.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_pending_flags(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert event.pending and not event.fired
+        sim.run()
+        assert event.fired and not event.pending
+
+    def test_clear_cancels_everything(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0 + i, fired.append, i)
+        sim.clear()
+        sim.run()
+        assert fired == []
+
+
+class TestRun:
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 2)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_run_until_resumes_cleanly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 2)
+        sim.run(until=2.0)
+        sim.run(until=10.0)
+        assert fired == [1, 2]
+
+    def test_run_advances_clock_to_until_with_no_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == pytest.approx(7.0)
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0 + i, fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_on_empty_queue(self):
+        assert Simulator().step() is False
+
+    def test_step_fires_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_pending_events_counter(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(3.0, lambda: None)
+        assert sim.peek_time() == pytest.approx(3.0)

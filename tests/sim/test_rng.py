@@ -1,0 +1,72 @@
+"""Unit tests for seeded RNG streams."""
+
+from repro.sim.rng import RngStream
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42, "x")
+        b = RngStream(42, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_decorrelate(self):
+        a = RngStream(42, "red")
+        b = RngStream(42, "loss")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RngStream(1, "x")
+        b = RngStream(2, "x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_substream_is_deterministic(self):
+        a = RngStream(7, "root").substream("child")
+        b = RngStream(7, "root").substream("child")
+        assert a.random() == b.random()
+
+    def test_substream_differs_from_parent(self):
+        parent = RngStream(7, "root")
+        child = RngStream(7, "root").substream("child")
+        assert parent.random() != child.random()
+
+
+class TestDistributions:
+    def test_uniform_range(self):
+        rng = RngStream(1)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_range(self):
+        rng = RngStream(1)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_bernoulli_edge_cases(self):
+        rng = RngStream(1)
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(1.0) is True
+
+    def test_bernoulli_rate(self):
+        rng = RngStream(1)
+        hits = sum(rng.bernoulli(0.3) for _ in range(10_000))
+        assert 2500 < hits < 3500
+
+    def test_choice_and_sample(self):
+        rng = RngStream(3)
+        population = [1, 2, 3, 4, 5]
+        assert rng.choice(population) in population
+        sample = rng.sample(population, 3)
+        assert len(sample) == 3
+        assert set(sample) <= set(population)
+
+    def test_shuffle_preserves_elements(self):
+        rng = RngStream(3)
+        items = list(range(10))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_expovariate_positive(self):
+        rng = RngStream(4)
+        assert all(rng.expovariate(2.0) >= 0 for _ in range(100))

@@ -1,0 +1,106 @@
+"""Unit tests for restartable timers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTimerBasics:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [pytest.approx(2.0)]
+
+    def test_not_pending_initially(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.pending
+
+    def test_pending_while_armed(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        assert timer.pending
+        assert timer.expiry == pytest.approx(1.0)
+
+    def test_not_pending_after_fire(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        sim.run()
+        assert not timer.pending
+
+    def test_stop_prevents_fire(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_stop_is_idempotent(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.stop()
+        timer.stop()
+
+    def test_restart_replaces_expiration(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.restart(5.0)
+        sim.run()
+        assert fired == [pytest.approx(5.0)]
+
+    def test_rearm_from_callback(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+
+        def callback():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer._callback = callback
+        timer.start(1.0)
+        sim.run()
+        assert len(fired) == 3
+
+
+class TestGranularity:
+    def test_rounds_up_to_tick(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now), granularity=0.5)
+        timer.start(1.2)
+        sim.run()
+        assert fired == [pytest.approx(1.5)]
+
+    def test_exact_multiple_not_rounded(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now), granularity=0.5)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [pytest.approx(1.0)]
+
+    def test_minimum_one_tick(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now), granularity=0.1)
+        timer.start(0.001)
+        sim.run()
+        assert fired == [pytest.approx(0.1)]
+
+    def test_negative_granularity_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            Timer(sim, lambda: None, granularity=-1.0)
+
+    def test_zero_granularity_is_exact(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now), granularity=0.0)
+        timer.start(0.123)
+        sim.run()
+        assert fired == [pytest.approx(0.123)]

@@ -1,0 +1,78 @@
+"""Unit tests for the trace bus."""
+
+from repro.sim.tracing import TraceBus, TraceRecord
+
+
+def make_record(category="queue.drop", time=1.0, **fields):
+    return TraceRecord(time=time, category=category, source="test", fields=fields)
+
+
+class TestSubscription:
+    def test_exact_category_delivery(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("queue.drop", seen.append)
+        bus.publish(make_record("queue.drop"))
+        bus.publish(make_record("tcp.send"))
+        assert len(seen) == 1
+        assert seen[0].category == "queue.drop"
+
+    def test_wildcard_receives_everything(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.publish(make_record("a"))
+        bus.publish(make_record("b"))
+        assert [r.category for r in seen] == ["a", "b"]
+
+    def test_multiple_subscribers_same_category(self):
+        bus = TraceBus()
+        first, second = [], []
+        bus.subscribe("x", first.append)
+        bus.subscribe("x", second.append)
+        bus.publish(make_record("x"))
+        assert len(first) == len(second) == 1
+
+    def test_unsubscribe(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("x", seen.append)
+        bus.unsubscribe("x", seen.append)
+        bus.publish(make_record("x"))
+        assert seen == []
+
+    def test_has_subscribers(self):
+        bus = TraceBus()
+        assert not bus.has_subscribers("x")
+        bus.subscribe("x", lambda r: None)
+        assert bus.has_subscribers("x")
+
+    def test_wildcard_counts_as_subscriber(self):
+        bus = TraceBus()
+        bus.subscribe("*", lambda r: None)
+        assert bus.has_subscribers("anything")
+
+
+class TestEmit:
+    def test_emit_builds_record(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("tcp.send", seen.append)
+        bus.emit(2.5, "tcp.send", "rr/f1", seqno=10)
+        record = seen[0]
+        assert record.time == 2.5
+        assert record.source == "rr/f1"
+        assert record.fields["seqno"] == 10
+
+    def test_emit_without_subscribers_is_noop(self):
+        bus = TraceBus()
+        bus.emit(1.0, "nobody.cares", "x", value=1)  # must not raise
+
+    def test_records_are_frozen(self):
+        record = make_record()
+        try:
+            record.time = 99.0
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated

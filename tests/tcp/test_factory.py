@@ -1,0 +1,71 @@
+"""Unit tests for the variant factory."""
+
+import pytest
+
+from repro.core.robust_recovery import RobustRecoverySender
+from repro.errors import ConfigurationError
+from repro.net.topology import Dumbbell, DumbbellParams
+from repro.sim.engine import Simulator
+from repro.tcp.factory import (
+    VARIANTS,
+    make_connection,
+    receiver_class_for,
+    sender_class_for,
+)
+from repro.tcp.receiver import SackReceiver, TcpReceiver
+from repro.tcp.sack import SackSender
+
+
+class TestRegistry:
+    def test_paper_variants_present(self):
+        for name in ["tahoe", "reno", "newreno", "sack", "rr"]:
+            assert name in VARIANTS
+
+    def test_extension_variants_present(self):
+        for name in ["sack3517", "rightedge", "linkung"]:
+            assert name in VARIANTS
+
+    def test_sender_class_lookup(self):
+        assert sender_class_for("rr") is RobustRecoverySender
+        assert sender_class_for("sack") is SackSender
+
+    def test_only_sack_needs_modified_receiver(self):
+        """The paper's deployment argument: every scheme except SACK
+        works with a vanilla receiver."""
+        for name, (_, receiver_cls) in VARIANTS.items():
+            if name.startswith("sack"):
+                assert receiver_cls is SackReceiver
+            else:
+                assert receiver_cls is TcpReceiver
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sender_class_for("cubic")
+        with pytest.raises(ConfigurationError):
+            receiver_class_for("bbr")
+
+    def test_variant_names_match_class_attribute(self):
+        for name, (sender_cls, _) in VARIANTS.items():
+            assert sender_cls.variant == name
+
+
+class TestMakeConnection:
+    def test_wires_both_hosts(self):
+        sim = Simulator()
+        bell = Dumbbell(sim, DumbbellParams(n_pairs=1))
+        sender, receiver = make_connection(
+            sim, "rr", 1, bell.sender(1), bell.receiver(1)
+        )
+        assert sender.host is bell.sender(1)
+        assert receiver.host is bell.receiver(1)
+        assert sender.flow_id == receiver.flow_id == 1
+
+    def test_end_to_end_loss_free_transfer(self):
+        sim = Simulator()
+        bell = Dumbbell(sim, DumbbellParams(n_pairs=1, buffer_packets=100))
+        sender, _ = make_connection(sim, "newreno", 1, bell.sender(1), bell.receiver(1))
+        sender.set_data_limit(50)
+        sender.start()
+        sim.run(until=30.0)
+        assert sender.completed
+        assert sender.retransmits == 0

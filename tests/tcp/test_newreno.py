@@ -1,0 +1,167 @@
+"""Unit tests for New-Reno partial-ACK recovery (ns-2 classic full
+deflation by default, RFC 2582 partial deflation as an option)."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.tcp.newreno import NewRenoSender
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=10.0, **cfg):
+    config = TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64, **cfg)
+    return SenderHarness(NewRenoSender, config)
+
+
+class TestPartialAck:
+    def test_partial_ack_stays_in_recovery(self):
+        harness = make()
+        harness.start()  # 0..9; pretend 0 and 3 lost
+        harness.dupacks(0, 3)
+        harness.ack(3)  # partial (recover = 10)
+        assert harness.sender.in_recovery
+
+    def test_partial_ack_retransmits_next_hole(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        harness.ack(3)
+        assert harness.host.retransmit_seqs() == [3]
+
+    def test_full_deflation_on_partial_ack(self):
+        harness = make()  # default: ns-2 classic
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.dupacks(0, 4)  # inflate
+        harness.ack(3)
+        assert harness.sender.cwnd == pytest.approx(harness.sender.ssthresh)
+
+    def test_rfc2582_partial_deflation(self):
+        harness = make()
+        harness.sender.partial_window_deflation = True
+        harness.start()
+        harness.dupacks(0, 3)  # cwnd = 5+3 = 8
+        harness.ack(3)         # deflate by 3 acked, +1 -> 6
+        assert harness.sender.cwnd == pytest.approx(6.0)
+
+    def test_one_loss_recovered_per_rtt(self):
+        harness = make()
+        harness.start()  # losses at 0, 3, 5
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        harness.ack(3)
+        assert harness.host.retransmit_seqs() == [3]
+        harness.host.clear()
+        harness.ack(5)
+        assert harness.host.retransmit_seqs() == [5]
+        assert harness.sender.in_recovery
+
+
+class TestFullAck:
+    def test_full_ack_exits(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        assert harness.sender.recover == 10
+        harness.ack(10)
+        assert not harness.sender.in_recovery
+        assert harness.sender.cwnd == pytest.approx(harness.sender.ssthresh)
+
+    def test_ack_beyond_recover_exits(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.dupacks(0, 4)  # inflation sends a couple of new packets
+        harness.ack(11)
+        assert not harness.sender.in_recovery
+
+
+class TestAvoidMultipleFastRetransmits:
+    def test_stale_dupacks_do_not_reenter(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.ack(10)  # full ACK, exit; recover stays 10
+        harness.host.clear()
+        # Dup ACKs below the old recover point: must NOT trigger.
+        harness.dupacks(10, 3)
+        assert harness.host.retransmit_seqs() == []
+
+    def test_fresh_losses_do_reenter(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.ack(10)  # exit; new data beyond 10 flows
+        harness.ack(11)
+        harness.ack(12)
+        harness.host.clear()
+        harness.dupacks(12, 3)
+        assert harness.host.retransmit_seqs() == [12]
+
+
+class TestExponentialDecay:
+    def test_new_data_per_rtt_shrinks(self):
+        """The paper's §1 critique: with full deflation, new data sent
+        per recovery RTT decreases geometrically."""
+        harness = make(cwnd=16.0)
+        harness.start()  # 0..15; losses 0..5 (6-burst); 10 survivors
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        harness.dupacks(0, 7)  # remaining survivors' dups
+        first_rtt_new = len(harness.host.new_data_seqs())
+        assert first_rtt_new >= 1
+        # RTT 2: partial ack + only the new packets' dups come back.
+        harness.ack(1)
+        harness.host.clear()
+        harness.dupacks(1, first_rtt_new)
+        second_rtt_new = len(harness.host.new_data_seqs())
+        assert second_rtt_new < first_rtt_new
+
+
+class TestTimeoutInteraction:
+    def test_timeout_suppresses_fast_retransmit_below_old_maxseq(self):
+        """RFC 2582 §3: after an RTO, duplicate ACKs caused by the
+        go-back-N resends (anything below the pre-timeout maxseq) must
+        not trigger a fast retransmit."""
+        harness = make()
+        harness.start()  # 0..9 out, maxseq 10
+        harness.dupacks(0, 3)
+        harness.advance(10.0)  # RTO
+        assert not harness.sender.in_recovery
+        harness.ack(2)
+        harness.host.clear()
+        harness.dupacks(2, 3)
+        assert harness.host.retransmit_seqs() == []
+
+    def test_fast_retransmit_resumes_beyond_old_maxseq(self):
+        harness = make()
+        harness.start()  # 0..9, maxseq 10
+        harness.dupacks(0, 3)
+        harness.advance(10.0)  # RTO; go-back-N
+        # Receiver had 1..9 buffered: the resend of 0 is cumulatively
+        # acknowledged through 10, then new data flows.
+        harness.ack(10)
+        harness.ack(11)
+        harness.host.clear()
+        harness.dupacks(11, 3)
+        assert harness.host.retransmit_seqs() == [11]
+
+    def test_maxburst_limits_release(self):
+        harness = make(cwnd=20.0, max_burst=2)
+        harness.start()  # 0..19
+        harness.host.clear()
+        harness.dupacks(0, 3)
+        # Dupacks inflate cwnd past flight eventually; each ACK event
+        # may release at most max_burst packets.
+        for _ in range(14):
+            harness.ack(0)
+        sends_per_event = []
+        count = 0
+        for packet in harness.host.sent:
+            if packet.is_data and not packet.is_retransmit:
+                count += 1
+        assert count >= 1  # some new data flowed
+        # No single event may have released more than 2; conservatively
+        # verify the total is bounded by 2 per dup ACK received.
+        assert count <= 2 * 17

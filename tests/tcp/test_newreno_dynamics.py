@@ -1,0 +1,100 @@
+"""Precision tests of New-Reno's transmission dynamics — the emergent
+rates the paper's §1 critique quantifies."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.tcp.newreno import NewRenoSender
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=16.0, **cfg):
+    config = TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64, **cfg)
+    return SenderHarness(NewRenoSender, config)
+
+
+class TestFirstRttRelease:
+    def test_one_new_packet_per_two_dupacks_emergent(self):
+        """With W=16: entry sets cwnd = 8+3 = 11 vs flight 16; dup k
+        makes cwnd 11+k, so new data flows from dup 6 — about one
+        packet per two duplicates over the full first RTT."""
+        harness = make(cwnd=16.0)
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        released_at = []
+        for k in range(1, 11):  # dups 4..13
+            before = len(harness.host.new_data_seqs())
+            harness.ack(0)
+            if len(harness.host.new_data_seqs()) > before:
+                released_at.append(k)
+        # No releases until inflation passes the flight; then 1 per dup.
+        assert released_at
+        assert released_at[0] == 6
+        assert released_at == list(range(6, 11))
+
+    def test_total_first_rtt_release_about_half(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 13)  # 3 trigger + 10 more (survivors of W=16, 3 lost)
+        new = len(harness.host.new_data_seqs())
+        assert 4 <= new <= 6  # ~= dups/2, the paper's characterisation
+
+
+class TestPartialAckDeflationModes:
+    def test_full_deflation_freezes_release_next_rtt(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        harness.dupacks(0, 13)
+        sent_rtt1 = len(harness.host.new_data_seqs())
+        harness.ack(1)  # partial: cwnd slammed to ssthresh
+        harness.host.clear()
+        # RTT 2 duplicates: only the RTT-1 new packets echo back.
+        harness.dupacks(1, sent_rtt1)
+        sent_rtt2 = len(harness.host.new_data_seqs())
+        assert sent_rtt2 < sent_rtt1  # geometric decay
+
+    def test_rfc_deflation_keeps_releasing(self):
+        harness = make(cwnd=16.0)
+        harness.sender.partial_window_deflation = True
+        harness.start()
+        harness.dupacks(0, 13)
+        sent_rtt1 = len(harness.host.new_data_seqs())
+        harness.ack(1)
+        harness.host.clear()
+        harness.dupacks(1, sent_rtt1)
+        sent_rtt2 = len(harness.host.new_data_seqs())
+        # The milder RFC 2582 deflation sustains the release rate.
+        assert sent_rtt2 >= sent_rtt1 - 1
+
+    def test_partial_ack_restarts_timer(self):
+        harness = make(cwnd=16.0, min_rto=1.0, initial_rto=1.0)
+        harness.start()
+        harness.advance(0.2)
+        harness.ack(1)        # RTT sample; timer restarted
+        harness.host.clear()
+        harness.dupacks(1, 3)
+        harness.advance(0.8)
+        harness.ack(2)        # partial ACK at t=1.0 restarts the timer
+        harness.advance(0.8)  # t=1.8 < 1.0 + rto
+        assert harness.sender.timeouts == 0
+
+
+class TestRecoverBookkeeping:
+    def test_recover_is_entry_maxseq(self):
+        harness = make(cwnd=16.0)
+        harness.start()
+        harness.dupacks(0, 3)
+        assert harness.sender.recover == 16
+
+    def test_recover_not_extended_by_recovery_sends(self):
+        """Unlike RR, New-Reno never advances its exit point: losses
+        among recovery-sent packets need a whole new episode."""
+        harness = make(cwnd=16.0)
+        harness.start()
+        harness.dupacks(0, 13)  # new data 16..20 sent
+        harness.ack(1)
+        assert harness.sender.recover == 16
+        harness.ack(16)  # full ACK: exits even if 16..20 had losses
+        assert not harness.sender.in_recovery

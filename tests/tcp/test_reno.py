@@ -1,0 +1,95 @@
+"""Unit tests for Reno fast recovery — including its documented
+multiple-window-halving pathology with bursty losses."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.tcp.reno import RenoSender
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=8.0):
+    return SenderHarness(RenoSender, TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64))
+
+
+class TestEnterRecovery:
+    def test_third_dupack_enters_recovery(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        assert harness.sender.in_recovery
+
+    def test_window_inflation_on_entry(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        # cwnd = ssthresh + 3 = flight/2 + 3
+        assert harness.sender.ssthresh == pytest.approx(4.0)
+        assert harness.sender.cwnd == pytest.approx(7.0)
+
+    def test_retransmits_hole(self):
+        harness = make()
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 3)
+        assert harness.host.retransmit_seqs() == [0]
+
+
+class TestDuringRecovery:
+    def test_dupack_inflates_window(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        cwnd = harness.sender.cwnd
+        harness.ack(0)  # 4th dup
+        assert harness.sender.cwnd == pytest.approx(cwnd + 1)
+
+    def test_new_data_flows_after_enough_dupacks(self):
+        harness = make()
+        harness.start()  # 0..7, flight 8
+        harness.host.clear()
+        harness.dupacks(0, 3)  # cwnd 7
+        harness.dupacks(0, 2)  # cwnd 9 > flight 8 -> one new packet
+        assert 8 in harness.host.new_data_seqs()
+
+
+class TestExitRecovery:
+    def test_any_new_ack_exits(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.ack(2)  # even a partial ACK exits Reno recovery
+        assert not harness.sender.in_recovery
+        assert harness.sender.cwnd == pytest.approx(4.0)  # deflated to ssthresh
+
+    def test_partial_ack_exit_requires_new_fast_retransmit(self):
+        """The Reno pathology: each burst loss needs its own 3 dupacks
+        and halves the window again."""
+        harness = make()
+        harness.start()  # 0..7; losses at 0 and 2
+        harness.dupacks(0, 3)   # first halving: ssthresh 4
+        harness.ack(2)          # partial -> exit, cwnd 4
+        harness.host.clear()
+        harness.dupacks(2, 3)   # second fast retransmit
+        assert harness.host.retransmit_seqs() == [2]
+        assert harness.sender.ssthresh < 4.0  # halved again
+
+    def test_full_recovery_resumes_growth(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.ack(8)
+        cwnd = harness.sender.cwnd
+        harness.ack(9)
+        assert harness.sender.cwnd > cwnd
+
+
+class TestTimeoutDuringRecovery:
+    def test_timeout_leaves_recovery(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.advance(4.0)  # initial RTO 3 s: exactly one firing
+        assert not harness.sender.in_recovery
+        assert harness.sender.cwnd == pytest.approx(1.0)
+        assert harness.sender.timeouts == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the right-edge recovery and Lin-Kung extras."""
+
+from repro.config import TcpConfig
+from repro.tcp.rightedge import LinKungSender, RightEdgeSender
+from tests.conftest import SenderHarness
+
+
+def make(cls, cwnd=10.0):
+    return SenderHarness(cls, TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64))
+
+
+class TestRightEdge:
+    def test_one_new_packet_per_dupack_in_recovery(self):
+        harness = make(RightEdgeSender)
+        harness.start()  # 0..9
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        harness.dupacks(0, 4)
+        assert len(harness.host.new_data_seqs()) == 4
+
+    def test_enters_recovery_like_newreno(self):
+        harness = make(RightEdgeSender)
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 3)
+        assert harness.sender.in_recovery
+        assert harness.host.retransmit_seqs() == [0]
+
+    def test_respects_receiver_window(self):
+        harness = make(RightEdgeSender)
+        config = TcpConfig(initial_cwnd=10.0, receiver_window=10)
+        harness = SenderHarness(RightEdgeSender, config)
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        harness.dupacks(0, 5)
+        assert harness.host.new_data_seqs() == []
+
+    def test_partial_ack_behaviour_inherited(self):
+        harness = make(RightEdgeSender)
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        harness.ack(3)
+        assert harness.host.retransmit_seqs() == [3]
+        assert harness.sender.in_recovery
+
+
+class TestLinKung:
+    def test_first_two_dupacks_send_new_data(self):
+        harness = make(LinKungSender)
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 2)
+        assert len(harness.host.new_data_seqs()) == 2
+        assert not harness.sender.in_recovery
+
+    def test_third_dupack_still_triggers_fast_retransmit(self):
+        harness = make(LinKungSender)
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 3)
+        assert harness.host.retransmit_seqs() == [0]
+        assert harness.sender.in_recovery
+
+    def test_recovery_dupacks_use_newreno_inflation(self):
+        harness = make(LinKungSender)
+        harness.start()
+        harness.dupacks(0, 3)
+        cwnd = harness.sender.cwnd
+        harness.ack(0)
+        assert harness.sender.cwnd == cwnd + 1

@@ -1,0 +1,126 @@
+"""Precision tests for the sack1 incremental-pipe dynamics (the
+Fall & Floyd '96 behaviour the paper benchmarked against)."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.tcp.sack import SackSender
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=10.0, **cfg):
+    config = TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64, **cfg)
+    return SenderHarness(SackSender, config)
+
+
+class TestPipeArithmetic:
+    def test_entry_pipe_counts_flight_minus_dupthresh(self):
+        harness = make(cwnd=10.0)
+        harness.start()  # flight 10
+        harness.dupacks(0, 3, sacks=[(1, 4)])
+        # pipe = 10 - 3, +1 for the retransmission of packet 0.
+        assert harness.sender.current_pipe() == 8
+
+    def test_dupack_decrements_pipe(self):
+        harness = make(cwnd=10.0)
+        harness.start()
+        harness.dupacks(0, 3, sacks=[(1, 4)])
+        pipe = harness.sender.current_pipe()
+        harness.ack(0, sacks=[(1, 5)])
+        # -1 for the dup; nothing sent (pipe still >= cwnd).
+        assert harness.sender.current_pipe() == pipe - 1
+
+    def test_partial_ack_decrements_pipe_by_two(self):
+        harness = make(cwnd=20.0)
+        harness.start()  # flight 20
+        harness.dupacks(0, 3, sacks=[(1, 4)])
+        pipe_before = harness.sender.current_pipe()
+        harness.host.clear()
+        harness.ack(4, sacks=[(5, 6)])  # partial ACK
+        sent = len(harness.host.sent)
+        # -2 for the partial ACK, +1 per transmission triggered.
+        assert harness.sender.current_pipe() == pipe_before - 2 + sent
+
+    def test_transmissions_blocked_while_pipe_full(self):
+        harness = make(cwnd=10.0)
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 3, sacks=[(1, 4)])
+        # Only the mandatory retransmission of the first hole went out.
+        assert len(harness.host.sent) == 1
+
+    def test_pipe_drains_then_sends(self):
+        harness = make(cwnd=10.0)
+        harness.start()
+        harness.dupacks(0, 3, sacks=[(1, 4)])
+        harness.host.clear()
+        # Entry left pipe at 8 vs cwnd 5: need 4 more dups before the
+        # next transmission fits.
+        harness.dupacks(0, 3, sacks=[(1, 7)])
+        assert harness.host.sent == []
+        harness.ack(0, sacks=[(1, 8)])
+        assert len(harness.host.sent) == 1
+
+
+class TestHoleSelection:
+    def test_holes_below_highest_sack_first(self):
+        harness = make(cwnd=12.0)
+        harness.start()  # 0..11; losses 0, 4
+        harness.dupacks(0, 3, sacks=[(1, 4), (5, 9)])
+        harness.host.clear()
+        # Drain pipe so transmissions flow.
+        for _ in range(6):
+            harness.ack(0, sacks=[(1, 4), (5, 12)])
+        retransmits = harness.host.retransmit_seqs()
+        assert retransmits and retransmits[0] == 4  # the hole, not new data
+
+    def test_no_hole_beyond_highest_sack(self):
+        harness = make(cwnd=12.0)
+        harness.start()
+        harness.dupacks(0, 3, sacks=[(1, 6)])
+        harness.host.clear()
+        for _ in range(8):
+            harness.ack(0, sacks=[(1, 6)])
+        # Packets 6..11 are un-SACKed but beyond the highest SACK: they
+        # are presumed in flight, so only new data is sent.
+        assert harness.host.retransmit_seqs() == []
+        assert harness.host.new_data_seqs() != []
+
+    def test_hole_not_retransmitted_twice_per_episode(self):
+        harness = make(cwnd=12.0)
+        harness.start()
+        harness.dupacks(0, 3, sacks=[(1, 4), (5, 9)])
+        harness.host.clear()
+        for _ in range(10):
+            harness.ack(0, sacks=[(1, 4), (5, 12)])
+        assert harness.host.retransmit_seqs().count(4) == 1
+
+
+class TestMaxBurst:
+    """sack1's incremental pipe releases at most ~1 packet per ACK by
+    construction; the burst hazard lives in the RFC 3517 recomputation,
+    where one big SACK jump can free many window slots at once."""
+
+    def make_3517(self, max_burst):
+        from repro.tcp.sack import SackRfc3517Sender
+
+        config = TcpConfig(initial_cwnd=30.0, initial_ssthresh=64, max_burst=max_burst)
+        return SenderHarness(SackRfc3517Sender, config)
+
+    def test_single_ack_releases_at_most_maxburst(self):
+        harness = self.make_3517(max_burst=4)
+        harness.start()  # flight 30
+        harness.dupacks(0, 3, sacks=[(1, 4)])
+        harness.host.clear()
+        # A huge SACK jump: SetPipe collapses, freeing many slots...
+        harness.ack(0, sacks=[(1, 30)])
+        # ...but one ACK event may emit at most max_burst packets.
+        assert 1 <= len(harness.host.sent) <= 4
+
+    def test_unlimited_when_disabled(self):
+        harness = self.make_3517(max_burst=0)
+        harness.start()
+        harness.dupacks(0, 3, sacks=[(1, 4)])
+        harness.host.clear()
+        harness.ack(0, sacks=[(1, 30)])
+        assert len(harness.host.sent) > 4

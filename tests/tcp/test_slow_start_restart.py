@@ -1,0 +1,101 @@
+"""Tests for slow-start restart after idle (RFC 2581 §4.1, optional)."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.app.workload import OnOffSource
+from repro.net.topology import Dumbbell, DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+from repro.tcp.factory import make_connection
+from repro.tcp.newreno import NewRenoSender
+from tests.conftest import SenderHarness
+
+
+def make(ssr=True, cwnd=1.0):
+    config = TcpConfig(
+        initial_cwnd=cwnd, initial_ssthresh=64, slow_start_restart=ssr,
+        min_rto=1.0, initial_rto=1.0,
+    )
+    return SenderHarness(NewRenoSender, config)
+
+
+def grow_window(harness, acks=10):
+    harness.start()
+    for ack in range(1, acks + 1):
+        harness.advance(0.01)
+        harness.ack(ack)
+
+
+class TestIdleRestart:
+    def test_cwnd_collapses_after_idle(self):
+        harness = make()
+        grow_window(harness)
+        # The application goes quiet: bound the transfer at what is
+        # already sent, let the final ACK drain the flight.
+        sender = harness.sender
+        sender.set_data_limit(sender.snd_nxt)
+        harness.ack(sender.snd_nxt)
+        assert sender.flight() == 0
+        cwnd_before = sender.cwnd
+        assert cwnd_before > 1.0
+        # Idle well past the RTO, then a new burst arrives (the
+        # OnOffSource pattern).
+        harness.advance(10.0)
+        sender.set_data_limit(None)
+        sender.completed = False
+        sender.send_available()
+        assert sender.cwnd == pytest.approx(1.0)
+        assert sender.idle_restarts == 1
+
+    def test_no_restart_when_disabled(self):
+        harness = make(ssr=False)
+        grow_window(harness)
+        harness.ack(harness.sender.snd_nxt)
+        harness.sender._timer.stop()
+        cwnd_before = harness.sender.cwnd
+        harness.advance(10.0)
+        harness.sender.send_available()
+        assert harness.sender.cwnd == pytest.approx(cwnd_before)
+        assert harness.sender.idle_restarts == 0
+
+    def test_no_restart_without_idle(self):
+        harness = make()
+        grow_window(harness)
+        cwnd_before = harness.sender.cwnd
+        harness.sender.send_available()  # immediately: not idle
+        assert harness.sender.cwnd == pytest.approx(cwnd_before)
+
+    def test_no_restart_with_data_in_flight(self):
+        harness = make()
+        grow_window(harness)
+        assert harness.sender.flight() > 0
+        harness.advance(0.5)  # below RTO: timer must not fire
+        harness.sender.send_available()
+        assert harness.sender.idle_restarts == 0
+
+
+class TestWithOnOffSource:
+    def test_bursts_after_idle_are_tamed(self):
+        """With SSR on, each burst after a long off-period starts from
+        the initial window instead of blasting the stale cwnd."""
+        def run(ssr):
+            sim = Simulator()
+            bell = Dumbbell(sim, DumbbellParams(n_pairs=1, buffer_packets=8))
+            config = TcpConfig(slow_start_restart=ssr)
+            sender, _ = make_connection(
+                sim, "newreno", 1, bell.sender(1), bell.receiver(1), config=config
+            )
+            OnOffSource(
+                sim, sender, RngStream(4, "onoff"),
+                mean_on_packets=40, mean_off_seconds=3.0,
+            )
+            sim.run(until=40.0)
+            return sender
+
+        with_ssr = run(True)
+        without = run(False)
+        assert with_ssr.idle_restarts >= 1
+        assert without.idle_restarts == 0
+        # Taming the restart burst can only reduce self-inflicted loss.
+        assert with_ssr.retransmits <= without.retransmits + 5

@@ -1,0 +1,106 @@
+"""Tests for the smooth-start mixin (paper reference [21])."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.topology import DumbbellParams
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.smoothstart import SmoothStartNewRenoSender, SmoothStartRrSender
+from tests.conftest import SenderHarness
+
+
+def make(cls=SmoothStartNewRenoSender, ssthresh=16.0):
+    config = TcpConfig(initial_cwnd=1.0, initial_ssthresh=ssthresh)
+    return SenderHarness(cls, config)
+
+
+def grow(harness, acks):
+    """Feed in-order ACKs; return the cwnd trajectory."""
+    trajectory = [harness.sender.cwnd]
+    for ack in range(1, acks + 1):
+        harness.ack(ack)
+        trajectory.append(harness.sender.cwnd)
+    return trajectory
+
+
+class TestGrowthLaw:
+    def test_exponential_below_half_ssthresh(self):
+        harness = make(ssthresh=16.0)
+        harness.start()
+        harness.ack(1)
+        assert harness.sender.cwnd == pytest.approx(2.0)  # classic +1/ack
+
+    def test_tapered_above_half_ssthresh(self):
+        harness = make(ssthresh=16.0)
+        harness.sender.cwnd = 9.0  # just above ssthresh/2
+        harness.start()
+        harness.ack(1)
+        # First smooth sub-phase: +1/2 per ACK, not +1.
+        assert harness.sender.cwnd == pytest.approx(9.5)
+
+    def test_final_subphase_is_slowest(self):
+        harness = make(ssthresh=16.0)
+        harness.sender.cwnd = 15.5  # last smooth sub-phase
+        harness.start()
+        harness.ack(1)
+        assert harness.sender.cwnd - 15.5 < 0.3
+
+    def test_never_overshoots_ssthresh_in_slow_start(self):
+        harness = make(ssthresh=16.0)
+        harness.start()
+        trajectory = grow(harness, 60)
+        in_ss = [c for c in trajectory if c <= 16.0 + 1e-9]
+        assert max(in_ss) <= 16.0 + 1e-9
+
+    def test_congestion_avoidance_unchanged(self):
+        harness = make(ssthresh=4.0)
+        harness.sender.cwnd = 8.0  # above ssthresh: CA
+        harness.start()
+        harness.ack(1)
+        assert harness.sender.cwnd == pytest.approx(8.0 + 1.0 / 8.0)
+
+    def test_slower_than_classic_slow_start(self):
+        smooth = make(ssthresh=16.0)
+        smooth.start()
+        classic = SenderHarness(
+            NewRenoSender, TcpConfig(initial_cwnd=1.0, initial_ssthresh=16.0)
+        )
+        classic.start()
+        smooth_traj = grow(smooth, 25)
+        classic_traj = grow(classic, 25)
+        assert smooth_traj[-1] <= classic_traj[-1]
+        assert all(s <= c + 1e-9 for s, c in zip(smooth_traj, classic_traj))
+
+
+class TestSmoothStartEndToEnd:
+    def run_variant(self, variant):
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant=variant, amount_packets=200)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=8),
+        )
+        scenario.sim.run(until=60.0)
+        return scenario.flow(1)
+
+    def test_reduces_slow_start_overshoot_losses(self):
+        """The point of [21]: gentler ramp -> fewer slow-start drops
+        into the tiny 8-packet paper buffer."""
+        _, smooth_stats = self.run_variant("ss-newreno")
+        _, classic_stats = self.run_variant("newreno")
+        assert smooth_stats.drops_observed <= classic_stats.drops_observed
+
+    def test_composes_with_rr(self):
+        sender, stats = self.run_variant("ss-rr")
+        assert sender.completed
+        assert sender.variant == "ss-rr"
+
+    def test_mixin_mro_keeps_recovery(self):
+        """Smooth-start must not alter the recovery machinery."""
+        harness = make(cls=SmoothStartRrSender)
+        harness.sender.cwnd = 10.0
+        harness.start()
+        harness.dupacks(0, 3)
+        assert harness.sender.in_recovery
+        from repro.core.robust_recovery import RrPhase
+
+        assert harness.sender.phase is RrPhase.RETREAT

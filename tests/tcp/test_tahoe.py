@@ -1,0 +1,91 @@
+"""Unit tests for Tahoe fast retransmit + slow-start restart."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.tcp.tahoe import TahoeSender
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=8.0):
+    return SenderHarness(TahoeSender, TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64))
+
+
+class TestFastRetransmit:
+    def test_third_dupack_retransmits(self):
+        harness = make()
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 3)
+        assert harness.host.retransmit_seqs() == [0]
+
+    def test_window_collapses_to_one(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        assert harness.sender.cwnd == pytest.approx(1.0)
+        assert harness.sender.ssthresh == pytest.approx(4.0)
+
+    def test_go_back_n(self):
+        harness = make()
+        harness.start()  # 0..7 out
+        harness.dupacks(0, 3)
+        assert harness.sender.snd_nxt == 1  # reset to una, then rtx of 0
+
+    def test_extra_dupacks_ignored(self):
+        harness = make()
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 6)
+        assert harness.host.retransmit_seqs() == [0]  # only one retransmission
+
+    def test_fewer_than_three_dupacks_no_action(self):
+        harness = make()
+        harness.start()
+        harness.host.clear()
+        harness.dupacks(0, 2)
+        assert harness.host.sent == []
+
+    def test_never_enters_recovery(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 5)
+        assert not harness.sender.in_recovery
+
+
+class TestSlowStartRestart:
+    def test_resends_window_in_slow_start(self):
+        harness = make()
+        harness.start()  # 0..7
+        harness.dupacks(0, 3)  # rtx 0, cwnd 1
+        harness.host.clear()
+        harness.ack(1)  # slow start: cwnd 2, resends 1,2
+        assert harness.host.data_seqs() == [1, 2]
+        assert all(p.is_retransmit for p in harness.host.sent if p.is_data)
+
+    def test_resent_packets_marked_retransmit(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        harness.ack(1)  # go-back-N resends of 1, 2
+        resends = [p for p in harness.host.sent if p.is_data and p.seqno < 8]
+        assert resends and all(p.is_retransmit for p in resends)
+
+    def test_cumulative_ack_after_buffered_data(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        # Receiver had 1..7 buffered; rtx of 0 yields a big ACK.
+        harness.ack(8)
+        assert harness.sender.snd_una == 8
+        assert harness.sender.snd_nxt >= 8
+
+    def test_recovers_with_multiple_loss_rounds(self):
+        harness = make()
+        harness.start()  # 0..7 out; pretend 0 and 4 lost
+        harness.dupacks(0, 3)
+        harness.ack(4)   # rtx of 0 acked through 3 (4 missing)
+        harness.host.clear()
+        harness.dupacks(4, 3)
+        assert 4 in harness.host.retransmit_seqs()

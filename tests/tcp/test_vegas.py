@@ -1,0 +1,191 @@
+"""Unit and behaviour tests for TCP Vegas."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.topology import DumbbellParams
+from repro.tcp.vegas import ALPHA, BETA, VegasSender
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=2.0, **cfg):
+    return SenderHarness(VegasSender, TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64, **cfg))
+
+
+def make_no_rto(cwnd=6.0):
+    """Harness whose coarse RTO will not fire during the test window,
+    isolating Vegas' fine-grained expedited-retransmit check."""
+    config = TcpConfig(
+        initial_cwnd=cwnd, initial_ssthresh=64,
+        min_rto=30.0, max_rto=64.0, initial_rto=30.0,
+    )
+    return SenderHarness(VegasSender, config)
+
+
+class TestRttTracking:
+    def test_base_rtt_is_minimum(self):
+        harness = make()
+        harness.start()  # packets 0, 1 sent at t=0
+        harness.advance(0.3)
+        harness.ack(1)   # rtt(pkt 0) = 0.3; new packets sent at t=0.3
+        harness.advance(0.1)
+        harness.ack(3)   # rtt(pkt 2, sent at 0.3) = 0.1 -> new baseRTT
+        assert harness.sender.base_rtt == pytest.approx(0.1)
+        assert harness.sender.last_rtt == pytest.approx(0.1)
+
+    def test_base_rtt_not_raised_by_slower_sample(self):
+        harness = make()
+        harness.start()
+        harness.advance(0.1)
+        harness.ack(1)
+        harness.advance(0.5)
+        harness.ack(2)
+        assert harness.sender.base_rtt == pytest.approx(0.1)
+
+    def test_last_rtt_updates(self):
+        harness = make()
+        harness.start()
+        harness.advance(0.2)
+        harness.ack(1)
+        assert harness.sender.last_rtt == pytest.approx(0.2)
+
+
+class TestSlowStart:
+    def test_window_grows_every_other_rtt(self):
+        harness = make(cwnd=1.0)
+        harness.start()
+        grown = []
+        for ack in range(1, 12):
+            before = harness.sender.cwnd
+            harness.advance(0.05)
+            harness.ack(ack)
+            grown.append(harness.sender.cwnd > before)
+        # Strictly slower than classic slow start's every-ACK growth.
+        assert not all(grown)
+        assert any(grown)
+
+    def test_backlog_exits_slow_start(self):
+        harness = make(cwnd=8.0)
+        sender = harness.sender
+        sender.base_rtt = 0.1
+        sender.last_rtt = 0.3  # heavy queueing: diff >> gamma
+        sender._vegas_slow_start()
+        assert sender.ssthresh == pytest.approx(8.0)  # clamped to cwnd
+
+
+class TestCongestionAvoidance:
+    def ca_sender(self, base=0.1, last=0.1, cwnd=10.0):
+        harness = make(cwnd=cwnd)
+        sender = harness.sender
+        sender.ssthresh = 5.0  # force CA
+        harness.start()
+        sender.base_rtt = base
+        sender.last_rtt = last
+        sender._adjust_marker = 0
+        return sender
+
+    def test_grows_when_backlog_below_alpha(self):
+        sender = self.ca_sender(base=0.1, last=0.1)  # diff = 0 < ALPHA
+        cwnd = sender.cwnd
+        sender._vegas_adjust()
+        assert sender.cwnd == pytest.approx(cwnd + 1)
+
+    def test_shrinks_when_backlog_above_beta(self):
+        # expected=100 pkt/s, actual=33 -> diff = 6.7 > BETA
+        sender = self.ca_sender(base=0.1, last=0.3)
+        cwnd = sender.cwnd
+        sender._vegas_adjust()
+        assert sender.cwnd == pytest.approx(cwnd - 1)
+
+    def test_stable_inside_band(self):
+        # expected=100, actual=80 -> diff = 2, inside [ALPHA, BETA]
+        sender = self.ca_sender(base=0.1, last=0.125)
+        cwnd = sender.cwnd
+        sender._vegas_adjust()
+        assert sender.cwnd == pytest.approx(cwnd)
+
+    def test_adjustment_once_per_rtt(self):
+        sender = self.ca_sender()
+        sender._vegas_adjust()
+        cwnd = sender.cwnd
+        # marker now at snd_nxt; a second call within the window is a no-op
+        sender._vegas_adjust()
+        assert sender.cwnd == pytest.approx(cwnd)
+
+    def test_backlog_estimate_formula(self):
+        sender = self.ca_sender(base=0.1, last=0.2, cwnd=10.0)
+        # expected=100 pkt/s, actual=50 -> diff = 50*0.1 = 5 packets
+        assert sender.backlog_estimate() == pytest.approx(5.0)
+
+
+class TestExpeditedRetransmit:
+    def test_first_dupack_retransmits_if_stale(self):
+        harness = make_no_rto()
+        harness.start()
+        harness.advance(0.1)
+        harness.ack(1)  # RTT sample ~0.1 -> fine timeout ~0.5
+        harness.advance(2.0)  # oldest outstanding is now very stale
+        harness.host.clear()
+        harness.ack(1)  # FIRST duplicate
+        assert 1 in harness.host.retransmit_seqs()
+        assert harness.sender.expedited_retransmits == 1
+
+    def test_fresh_dupack_waits_for_threshold(self):
+        harness = make_no_rto()
+        harness.start()
+        harness.advance(0.1)
+        harness.ack(1)
+        harness.host.clear()
+        harness.ack(1)  # immediately: not stale
+        assert harness.host.retransmit_seqs() == []
+
+    def test_disabled_switch(self):
+        harness = make_no_rto()
+        harness.sender.enable_expedited_rtx = False
+        harness.start()
+        harness.advance(0.1)
+        harness.ack(1)
+        harness.advance(2.0)
+        harness.host.clear()
+        harness.ack(1)
+        assert harness.host.retransmit_seqs() == []
+
+
+class TestVegasEndToEnd:
+    def test_avoids_self_induced_losses(self):
+        """Vegas' delay-based CA should back off before the buffer
+        overflows — zero losses on a clean bottleneck."""
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="vegas", amount_packets=200)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        )
+        scenario.sim.run(until=60.0)
+        sender, stats = scenario.flow(1)
+        assert sender.completed
+        assert stats.drops_observed == 0
+        assert sender.retransmits == 0
+
+    def test_reno_same_path_does_lose(self):
+        """Contrast: Reno on the identical path overflows the buffer."""
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="reno", amount_packets=200)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        )
+        scenario.sim.run(until=60.0)
+        sender, stats = scenario.flow(1)
+        assert sender.completed
+        assert stats.drops_observed > 0
+
+    def test_recovers_from_injected_burst(self):
+        from repro.net.loss import DeterministicLoss
+
+        loss = DeterministicLoss([(1, 50), (1, 51)])
+        scenario = build_dumbbell_scenario(
+            flows=[FlowSpec(variant="vegas", amount_packets=200)],
+            params=DumbbellParams(n_pairs=1, buffer_packets=25),
+            forward_loss=loss,
+        )
+        scenario.sim.run(until=120.0)
+        sender, _ = scenario.flow(1)
+        assert sender.completed

@@ -1,0 +1,76 @@
+"""Package-level tests: error hierarchy, top-level exports, the
+``python -m repro`` self-check, and per-flow config overrides."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [SimulationError, SchedulingError, ConfigurationError, TopologyError, ProtocolError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_scheduling_is_simulation_error(self):
+        assert issubclass(SchedulingError, SimulationError)
+
+    def test_one_except_catches_everything(self):
+        try:
+            raise TopologyError("x")
+        except ReproError:
+            caught = True
+        assert caught
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestMainModule:
+    def test_self_check_passes(self):
+        process = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == 0, process.stderr
+        assert "self-check OK" in process.stdout
+        assert "rr" in process.stdout
+
+
+class TestPerFlowConfig:
+    def test_flowspec_config_overrides_default(self):
+        from repro.config import TcpConfig
+        from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+
+        scenario = build_dumbbell_scenario(
+            flows=[
+                FlowSpec(variant="rr", config=TcpConfig(receiver_window=16)),
+                FlowSpec(variant="rr"),
+            ],
+            default_config=TcpConfig(receiver_window=99),
+        )
+        assert scenario.senders[1].config.receiver_window == 16
+        assert scenario.senders[2].config.receiver_window == 99
