@@ -31,13 +31,16 @@ from repro.app.ftp import FtpSource
 from repro.config import TcpConfig
 from repro.core.robust_recovery import RobustRecoverySender, RrPhase
 from repro.errors import (
+    CallbackError,
     ConfigurationError,
+    InvariantViolation,
     ProtocolError,
     ReproError,
     SchedulingError,
     SimulationError,
     TopologyError,
 )
+from repro.faults import CampaignRunner, CampaignSpec, FaultPlan
 from repro.metrics.flowstats import FlowStats
 from repro.net.loss import AckLoss, DeterministicLoss, UniformLoss
 from repro.net.red import RedParams, RedQueue
@@ -69,7 +72,12 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "SchedulingError",
+    "CallbackError",
+    "InvariantViolation",
     "ConfigurationError",
     "TopologyError",
     "ProtocolError",
+    "FaultPlan",
+    "CampaignSpec",
+    "CampaignRunner",
 ]

@@ -129,8 +129,20 @@ class RobustRecoverySender(TcpSender):
         self._sent_last_rtt = 0
         self.recovery_episodes += 1
         self._enter_recovery_common()
+        self._emit_rr_state()
         self._retransmit(self.snd_una)
         self._timer.restart(self.rto.current())
+
+    def _emit_rr_state(self) -> None:
+        """Publish the RR control variables for online invariant
+        checking (``actnum >= 0``, ``recover`` only advances, ...)."""
+        self._emit(
+            "tcp.rr",
+            phase=self.phase.value,
+            actnum=self.actnum,
+            ndup=self.ndup,
+            recover=self.recover,
+        )
 
     # ------------------------------------------------------------------
     # duplicate ACKs
@@ -177,6 +189,7 @@ class RobustRecoverySender(TcpSender):
         # in-flight count in that case (see DESIGN.md).
         self.actnum = min(self.ndup // 2, self._retreat_sent)
         self.ndup = 0
+        self._emit_rr_state()
         self._ack_common(ackno)
         self.in_recovery = True  # _ack_common leaves it; keep explicit
         if ackno >= self.recover:
@@ -225,6 +238,7 @@ class RobustRecoverySender(TcpSender):
                 self.exit_extensions += 1
             self._retransmit(self.snd_una)
         self.ndup = 0
+        self._emit_rr_state()
         self._timer.restart(self.rto.current())
 
     # ------------------------------------------------------------------
@@ -263,6 +277,7 @@ class RobustRecoverySender(TcpSender):
         # partial-ACK recovery makes the stale-duplicate case rare.
         self._no_retransmit_below = self.recover - 1
         self._note_cwnd()
+        self._emit_rr_state()
         self._exit_recovery_common()
         # The exiting ACK observes packet conservation: with cwnd equal
         # to the true in-flight count this releases at most one packet.

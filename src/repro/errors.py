@@ -19,6 +19,51 @@ class SchedulingError(SimulationError):
     """An event was scheduled into the past or re-used after firing."""
 
 
+class CallbackError(SimulationError):
+    """An event callback raised a non-repro exception.
+
+    The engine wraps such exceptions so the failure carries simulation
+    context (the clock and the offending event) instead of surfacing as
+    a bare traceback from deep inside the event loop.  The original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, sim_time: float = 0.0, event: object = None):
+        super().__init__(message)
+        self.sim_time = sim_time
+        self.event = event
+
+
+class InvariantViolation(ReproError):
+    """An online invariant checker caught the simulator lying to itself.
+
+    Raised by :mod:`repro.sim.invariants` subscribers while the run is
+    in progress, with the offending trace record and the recent trace
+    tail attached for post-mortem inspection.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str = "",
+        record: object = None,
+        tail: object = (),
+    ):
+        super().__init__(message)
+        self.invariant = invariant
+        self.record = record
+        self.tail = list(tail)
+
+    def format_tail(self) -> str:
+        """Render the attached trace tail, one record per line."""
+        lines = [f"trace tail ({len(self.tail)} records, oldest first):"]
+        for rec in self.tail:
+            lines.append(
+                f"  t={rec.time:.6f} {rec.category:<20} {rec.source:<16} {rec.fields}"
+            )
+        return "\n".join(lines)
+
+
 class ConfigurationError(ReproError):
     """Invalid configuration passed to a component."""
 

@@ -11,6 +11,7 @@ and is runnable from the command line via ``python -m repro.experiments
 <id>`` (see :mod:`repro.experiments.cli`).
 """
 
+from repro.experiments.chaos import ChaosConfig, run_chaos
 from repro.experiments.common import ScenarioResult, build_dumbbell_scenario
 from repro.experiments.figure5 import Figure5Config, run_figure5
 from repro.experiments.figure6 import Figure6Config, run_figure6
@@ -25,6 +26,8 @@ from repro.experiments.vegas_decomposition import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "run_chaos",
     "ScenarioResult",
     "build_dumbbell_scenario",
     "Figure5Config",

@@ -1,9 +1,11 @@
 """Command-line entry point: ``python -m repro.experiments <id>``.
 
 Experiment ids match DESIGN.md's experiment index: fig5, fig6, fig7,
-table5, plus the extension studies (ackloss, ablation, vegas, burst),
-or ``all``.  ``--quick`` shrinks sweeps for smoke runs; ``--out DIR``
-additionally writes each report to ``DIR/<id>.txt``.
+table5, plus the extension studies (ackloss, ablation, vegas, burst)
+and the robustness harness (chaos), or ``all``.  ``--quick`` shrinks
+sweeps for smoke runs; ``--out DIR`` additionally writes each report to
+``DIR/<id>.txt``; ``--seeds`` / ``--variants`` size the chaos campaign
+(see docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.experiments import (
     ablation,
     ackloss,
     burstchannel,
+    chaos,
     figure5,
     figure6,
     figure7,
@@ -25,76 +28,89 @@ from repro.experiments import (
 )
 
 
-def _run_fig5(quick: bool):
+def _run_fig5(args):
     config = figure5.Figure5Config()
-    if quick:
+    if args.quick:
         config.transfer_packets = 300
         config.sim_duration = 30.0
     result = figure5.run_figure5(config)
     return figure5.format_report(result), result, "fig5"
 
 
-def _run_fig6(quick: bool):
+def _run_fig6(args):
     config = figure6.Figure6Config()
-    if quick:
+    if args.quick:
         config.duration = 3.0
     result = figure6.run_figure6(config)
-    return figure6.format_report(result, plots=not quick), result, "fig6"
+    return figure6.format_report(result, plots=not args.quick), result, "fig6"
 
 
-def _run_fig7(quick: bool):
+def _run_fig7(args):
     config = figure7.Figure7Config()
-    if quick:
+    if args.quick:
         config.loss_rates = (0.01, 0.05, 0.1)
         config.duration = 30.0
         config.runs_per_point = 1
     result = figure7.run_figure7(config)
-    return figure7.format_report(result, plot=not quick), result, "fig7"
+    return figure7.format_report(result, plot=not args.quick), result, "fig7"
 
 
-def _run_table5(quick: bool):
+def _run_table5(args):
     config = table5.Table5Config()
-    if quick:
+    if args.quick:
         config.sim_duration = 90.0
         config.runs_per_case = 2
     result = table5.run_table5(config)
     return table5.format_report(result), result, "table5"
 
 
-def _run_burst(quick: bool):
+def _run_burst(args):
     config = burstchannel.BurstChannelConfig()
-    if quick:
+    if args.quick:
         config.runs_per_point = 1
         config.transfer_packets = 200
     result = burstchannel.run_burstchannel(config)
     return burstchannel.format_report(result), result, "burst"
 
 
-def _run_ackloss(quick: bool):
+def _run_ackloss(args):
     config = ackloss.AckLossConfig()
-    if quick:
+    if args.quick:
         config.ack_loss_rates = (0.0, 0.1)
         config.runs_per_point = 1
         config.sim_duration = 30.0
     return ackloss.format_report(ackloss.run_ackloss(config)), None, None
 
 
-def _run_ablation(quick: bool):
+def _run_ablation(args):
     config = ablation.AblationConfig()
-    if quick:
+    if args.quick:
         config.transfer_packets = 300
         config.sim_duration = 30.0
     return ablation.format_report(ablation.run_ablation(config)), None, None
 
 
-def _run_vegas(quick: bool):
+def _run_vegas(args):
     config = vegas_decomposition.VegasDecompositionConfig()
-    if quick:
+    if args.quick:
         config.transfer_packets = 200
         config.sim_duration = 60.0
     return vegas_decomposition.format_report(
         vegas_decomposition.run_vegas_decomposition(config)
     ), None, None
+
+
+def _run_chaos(args):
+    config = chaos.ChaosConfig()
+    if args.quick:
+        config.seeds = 2
+        config.variants = ("newreno", "rr")
+        config.transfer_packets = 600
+    if getattr(args, "seeds", None) is not None:
+        config.seeds = args.seeds
+    if getattr(args, "variants", None):
+        config.variants = tuple(args.variants)
+    return chaos.format_report(chaos.run_chaos(config)), None, None
 
 
 EXPERIMENTS = {
@@ -106,6 +122,7 @@ EXPERIMENTS = {
     "ablation": _run_ablation,
     "vegas": _run_vegas,
     "burst": _run_burst,
+    "chaos": _run_chaos,
 }
 
 
@@ -129,13 +146,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write each report to DIR/<id>.txt",
     )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="chaos only: number of seeded campaigns per variant",
+    )
+    parser.add_argument(
+        "--variants",
+        nargs="+",
+        metavar="VARIANT",
+        default=None,
+        help="chaos only: restrict to these TCP variants",
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
-        report, result, export_id = EXPERIMENTS[name](args.quick)
+        report, result, export_id = EXPERIMENTS[name](args)
         print(f"===== {name} =====")
         print(report)
         print()

@@ -93,7 +93,12 @@ def build_dumbbell_scenario(
             sender_cls = overrides[flow_id]
             receiver_cls = VARIANTS[spec.variant][1]
             sender = sender_cls(
-                sim, flow_id, bell.receiver(flow_id).name, config=config, observer=stats
+                sim,
+                flow_id,
+                bell.receiver(flow_id).name,
+                config=config,
+                observer=stats,
+                trace=bell.net.trace,
             )
             receiver = receiver_cls(sim, flow_id, config=config)
             bell.sender(flow_id).register(sender)
@@ -107,6 +112,7 @@ def build_dumbbell_scenario(
                 bell.receiver(flow_id),
                 config=config,
                 observer=stats,
+                trace=bell.net.trace,
             )
         source = FtpSource(
             sim, sender, amount_packets=spec.amount_packets, start_time=spec.start_time

@@ -1,0 +1,43 @@
+"""Fault injection: declarative plans, seeded campaigns, tampering.
+
+The chaos harness's offense half (see docs/FAULTS.md).  A
+:class:`FaultPlan` is a data-only schedule of fault actions installable
+onto any built topology; a :class:`CampaignRunner` samples plans from a
+seeded stream within :class:`CampaignSpec` bounds.  The defense half —
+invariant checking and the watchdog — lives in :mod:`repro.sim`.
+"""
+
+from repro.faults.campaign import CampaignRunner, CampaignSpec
+from repro.faults.plan import (
+    AckLossEpisode,
+    BurstLossEpisode,
+    FaultAction,
+    FaultContext,
+    FaultPlan,
+    LinkFlap,
+    LinkOutage,
+    PacketCorruption,
+    PacketDuplication,
+    PeriodicDropEpisode,
+    RouterBlackout,
+    TimerSkew,
+)
+from repro.faults.tamper import PacketTamperer
+
+__all__ = [
+    "AckLossEpisode",
+    "BurstLossEpisode",
+    "CampaignRunner",
+    "CampaignSpec",
+    "FaultAction",
+    "FaultContext",
+    "FaultPlan",
+    "LinkFlap",
+    "LinkOutage",
+    "PacketCorruption",
+    "PacketDuplication",
+    "PacketTamperer",
+    "PeriodicDropEpisode",
+    "RouterBlackout",
+    "TimerSkew",
+]

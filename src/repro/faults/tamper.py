@@ -1,0 +1,94 @@
+"""Packet tampering: duplication and corruption-drop.
+
+A :class:`PacketTamperer` attaches to a link (``link.tamper``) and is
+consulted for every packet entering the link, before loss injection and
+queueing.  Two behaviours, both seeded:
+
+* **duplication** — the packet is admitted twice (the copy gets a fresh
+  uid), modelling a duplicating middlebox or a retransmitting L2.  The
+  receiver must still deliver the data exactly once;
+* **corruption** — the packet is destroyed before the queue (the model
+  for a corrupted packet is a failed checksum at the far end, which is
+  indistinguishable from a drop at this abstraction level).
+
+Both can be confined to a time window, so a campaign can schedule a
+bounded "flaky middlebox" episode rather than a permanent condition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet, clone_packet
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+class PacketTamperer:
+    """Seeded duplication / corruption decisions for one link.
+
+    Parameters
+    ----------
+    sim:
+        Clock provider (for the activity window).
+    rng:
+        Random stream driving both coin flips.
+    duplicate_rate / corrupt_rate:
+        Per-packet probabilities.  Corruption is evaluated first; a
+        packet is never both corrupted and duplicated.
+    start / end:
+        Activity window in simulation time (``end=None`` = forever).
+    data_only:
+        When True (default) ACKs pass untouched — reverse-path faults
+        are modelled explicitly with :class:`~repro.net.loss.AckLoss`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngStream,
+        duplicate_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        data_only: bool = True,
+    ):
+        for name, rate in [("duplicate_rate", duplicate_rate), ("corrupt_rate", corrupt_rate)]:
+            if not 0 <= rate <= 1:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if end is not None and end <= start:
+            raise ConfigurationError(f"empty tamper window [{start}, {end})")
+        self._sim = sim
+        self._rng = rng
+        self.duplicate_rate = duplicate_rate
+        self.corrupt_rate = corrupt_rate
+        self.start = start
+        self.end = end
+        self.data_only = data_only
+        self.duplicated = 0
+        self.corrupted = 0
+
+    @property
+    def active(self) -> bool:
+        now = self._sim.now
+        return now >= self.start and (self.end is None or now < self.end)
+
+    def verdict(self, packet: Packet) -> Optional[str]:
+        """``"corrupt"``, ``"duplicate"`` or None for this packet."""
+        if not self.active:
+            return None
+        if self.data_only and not packet.is_data:
+            return None
+        if self.corrupt_rate and self._rng.bernoulli(self.corrupt_rate):
+            self.corrupted += 1
+            return "corrupt"
+        if self.duplicate_rate and self._rng.bernoulli(self.duplicate_rate):
+            self.duplicated += 1
+            return "duplicate"
+        return None
+
+    @staticmethod
+    def clone(packet: Packet) -> Packet:
+        """The wire copy the link admits next to the original."""
+        return clone_packet(packet)

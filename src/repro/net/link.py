@@ -72,6 +72,9 @@ class Link:
         # Optional reordering injector (see repro.net.reorder): adds
         # per-packet extra propagation delay so later packets overtake.
         self.reorder = None
+        # Optional packet tamperer (see repro.faults.tamper): may
+        # duplicate or corrupt-drop packets before they reach the queue.
+        self.tamper = None
         self._busy = False
         self._down = False
         self.packets_delivered = 0
@@ -111,11 +114,15 @@ class Link:
         """Take the link down: every packet arriving while down is
         destroyed (a natural generator of loss bursts).  Packets
         already in the queue or in flight are unaffected."""
-        self._down = True
+        if not self._down:
+            self._down = True
+            self._emit("link.down")
 
     def set_up(self) -> None:
         """Restore the link."""
-        self._down = False
+        if self._down:
+            self._down = False
+            self._emit("link.up")
 
     def schedule_outage(self, start: float, duration: float) -> None:
         """Convenience: go down at absolute time ``start`` for
@@ -126,12 +133,26 @@ class Link:
         self._sim.schedule_at(start + duration, self.set_up)
 
     def send(self, packet: Packet) -> None:
-        """Entry point: apply outages and loss injection, queue, and
-        start the transmitter if idle."""
+        """Entry point: apply outages, tampering and loss injection,
+        queue, and start the transmitter if idle."""
         if self._down:
             self.outage_drops += 1
             self._emit("link.injected_drop", packet=packet, reason="outage")
             return
+        if self.tamper is not None:
+            verdict = self.tamper.verdict(packet)
+            if verdict == "corrupt":
+                # Corruption is modelled as a drop: the checksum fails
+                # at the receiver, so the packet might as well vanish.
+                self._emit("link.injected_drop", packet=packet, reason="corrupt")
+                return
+            if verdict == "duplicate":
+                self._emit("link.duplicate", packet=packet)
+                self._admit(self.tamper.clone(packet))
+        self._admit(packet)
+
+    def _admit(self, packet: Packet) -> None:
+        """Run loss injection and queueing for one packet copy."""
         if self.loss.should_drop(packet):
             self._emit("link.injected_drop", packet=packet)
             return

@@ -282,6 +282,47 @@ class GilbertElliott(LossModule):
         return pi_bad * self.p_bad + (1 - pi_bad) * self.p_good
 
 
+class WindowedLoss(LossModule):
+    """Activate an inner loss module only inside a time window.
+
+    Fault plans use this to turn the stationary loss processes
+    (uniform, Gilbert-Elliott, periodic, ACK loss) into bounded
+    *episodes*: the wrapped module sees no packets outside
+    ``[start, end)``, so its internal state (and RNG stream) is only
+    consumed while the episode is live.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        inner: LossModule,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ):
+        super().__init__()
+        if start < 0:
+            raise ConfigurationError("window start must be >= 0")
+        if end is not None and end <= start:
+            raise ConfigurationError(f"empty loss window [{start}, {end})")
+        self._sim = sim
+        self.inner = inner
+        self.start = start
+        self.end = end
+
+    @property
+    def active(self) -> bool:
+        now = self._sim.now
+        return now >= self.start and (self.end is None or now < self.end)
+
+    def should_drop(self, packet: Packet) -> bool:
+        if not self.active:
+            return False
+        if self.inner.should_drop(packet):
+            self.injected_drops += 1
+            return True
+        return False
+
+
 class Composite(LossModule):
     """Apply several loss modules in order (first match drops)."""
 

@@ -13,7 +13,7 @@ throughout the paper's evaluation (Section 3.1).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 DATA = "data"
@@ -150,6 +150,16 @@ def ack_packet(
         ackno=ackno,
         size=size,
         sack_blocks=list(sack_blocks or ()),
+    )
+
+
+def clone_packet(packet: Packet) -> Packet:
+    """An independent wire copy of ``packet`` with a fresh uid — what a
+    duplicating network element puts on the link next to the original."""
+    return replace(
+        packet,
+        sack_blocks=list(packet.sack_blocks),
+        uid=next(_uid_counter),
     )
 
 

@@ -4,12 +4,31 @@ This subpackage is the substrate everything else runs on: a heap-based event
 scheduler (:class:`~repro.sim.engine.Simulator`), cancellable/restartable
 timers (:class:`~repro.sim.timers.Timer`), seeded random-number streams
 (:class:`~repro.sim.rng.RngStream`), and a lightweight trace bus
-(:class:`~repro.sim.tracing.TraceBus`).
+(:class:`~repro.sim.tracing.TraceBus`) — plus the chaos harness's
+defensive half: online invariant checking over the bus
+(:mod:`repro.sim.invariants`) and a run watchdog
+(:mod:`repro.sim.watchdog`); see docs/FAULTS.md.
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.invariants import InvariantChecker, InvariantSuite, standard_suite
 from repro.sim.rng import RngStream
 from repro.sim.timers import Timer
-from repro.sim.tracing import TraceBus, TraceRecord
+from repro.sim.tracing import TraceBus, TraceRecord, TraceTail
+from repro.sim.watchdog import CrashReport, FlowSnapshot, Watchdog
 
-__all__ = ["Event", "Simulator", "Timer", "RngStream", "TraceBus", "TraceRecord"]
+__all__ = [
+    "CrashReport",
+    "Event",
+    "FlowSnapshot",
+    "InvariantChecker",
+    "InvariantSuite",
+    "RngStream",
+    "Simulator",
+    "Timer",
+    "TraceBus",
+    "TraceRecord",
+    "TraceTail",
+    "Watchdog",
+    "standard_suite",
+]

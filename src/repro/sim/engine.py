@@ -4,9 +4,21 @@ The engine is deliberately minimal and deterministic:
 
 * Events scheduled for the same instant fire in the order they were
   scheduled (FIFO tie-break via a monotonically increasing serial number).
-* Events are cancellable; cancellation is O(1) (lazy deletion).
+* Events are cancellable; cancellation is O(1) (lazy deletion), and the
+  pending-event count is maintained incrementally so callers can poll it
+  cheaply (watchdogs do, every tick).
 * The engine never advances time backwards and refuses to schedule into
-  the past, so component code can rely on causality.
+  the past, so component code can rely on causality.  Tiny negative
+  delays produced by floating-point round-off (``schedule_at(now + x)``
+  after many accumulated additions) are clamped to zero instead of
+  raising.
+* A callback that blows up is wrapped in :class:`~repro.errors.
+  CallbackError` carrying the clock and the offending event;
+  repro-native exceptions (invariant violations, protocol errors)
+  propagate unchanged but get a ``sim_context`` attribute attached.
+* Cooperative interruption: :meth:`Simulator.request_stop` makes a
+  running :meth:`Simulator.run` return before the next event — the
+  mechanism the watchdog uses to abort gracefully instead of hanging.
 
 Example
 -------
@@ -25,7 +37,11 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
-from repro.errors import SchedulingError, SimulationError
+from repro.errors import CallbackError, ReproError, SchedulingError, SimulationError
+
+#: Negative delays no larger than this are treated as floating-point
+#: round-off from repeated ``now + delay`` arithmetic and clamped to 0.
+NEGATIVE_DELAY_EPSILON = 1e-9
 
 
 class Event:
@@ -35,15 +51,23 @@ class Event:
     needs :meth:`cancel` and the read-only properties.
     """
 
-    __slots__ = ("time", "serial", "fn", "args", "_cancelled", "_fired")
+    __slots__ = ("time", "serial", "fn", "args", "_cancelled", "_fired", "_sim")
 
-    def __init__(self, time: float, serial: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        serial: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.serial = serial
         self.fn = fn
         self.args = args
         self._cancelled = False
         self._fired = False
+        self._sim = sim
 
     @property
     def cancelled(self) -> bool:
@@ -63,7 +87,11 @@ class Event:
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; cancelling an
         already-fired event is a no-op."""
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        if self._sim is not None:
+            self._sim._pending -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.serial) < (other.time, other.serial)
@@ -88,6 +116,9 @@ class Simulator:
         self._serial = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._pending = 0
+        self._stop_requested = False
+        self._stop_reason: Optional[str] = None
 
     @property
     def now(self) -> float:
@@ -101,19 +132,46 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including lazily cancelled ones)."""
-        return sum(1 for e in self._heap if e.pending)
+        """Number of events still waiting to fire.
+
+        Maintained incrementally on schedule/cancel/fire, so reading it
+        is O(1) — safe to poll from per-tick monitors.
+        """
+        return self._pending
+
+    @property
+    def stop_requested(self) -> bool:
+        """True after :meth:`request_stop` until the next :meth:`run`."""
+        return self._stop_requested
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """The reason passed to the most recent :meth:`request_stop`."""
+        return self._stop_reason
+
+    def request_stop(self, reason: str = "") -> None:
+        """Ask a running :meth:`run` loop to return before firing the
+        next event.  Callable from inside event callbacks (that is the
+        point); a no-op outside ``run`` beyond recording the reason."""
+        self._stop_requested = True
+        self._stop_reason = reason or None
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
 
-        Returns the :class:`Event`, which may be cancelled before it fires.
-        Raises :class:`SchedulingError` for negative delays.
+        Returns the :class:`Event`, which may be cancelled before it
+        fires.  Raises :class:`SchedulingError` for negative delays;
+        delays within ``NEGATIVE_DELAY_EPSILON`` of zero are treated as
+        floating-point round-off and clamped to 0.
         """
         if delay < 0:
-            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._serial), fn, args)
+            if delay >= -NEGATIVE_DELAY_EPSILON:
+                delay = 0.0
+            else:
+                raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._serial), fn, args, sim=self)
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -133,6 +191,10 @@ class Simulator:
         """Fire the single next pending event.
 
         Returns True if an event fired, False if the queue was empty.
+        A callback that raises a non-repro exception is wrapped in
+        :class:`CallbackError` (original chained as ``__cause__``);
+        repro-native errors propagate as-is with a ``sim_context``
+        attribute describing the clock and event.
         """
         self._drop_cancelled()
         if not self._heap:
@@ -144,26 +206,53 @@ class Simulator:
             )
         self._now = event.time
         event._fired = True
+        self._pending -= 1
         self._events_processed += 1
-        event.fn(*event.args)
+        try:
+            event.fn(*event.args)
+        except ReproError as exc:
+            if getattr(exc, "sim_context", None) is None:
+                exc.sim_context = {
+                    "sim_time": self._now,
+                    "event": repr(event),
+                    "events_processed": self._events_processed,
+                }
+            raise
+        except Exception as exc:
+            raise CallbackError(
+                f"event callback failed at t={self._now:.6f}: "
+                f"{type(exc).__name__}: {exc} (event={event!r})",
+                sim_time=self._now,
+                event=event,
+            ) from exc
         return True
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the event queue drains, ``until`` is reached, or
-        ``max_events`` have fired.
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains, ``until`` is reached,
+        ``max_events`` have fired, or a stop is requested.
 
-        When ``until`` is given the clock is advanced to exactly ``until``
-        even if no event lands on it, so back-to-back ``run`` calls resume
-        cleanly.
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if no event lands on it, so back-to-back ``run``
+        calls resume cleanly.  The advance also happens when
+        ``max_events`` (or a stop request) ended the run *after* the
+        queue drained below ``until``; it is skipped only while events
+        remain at or before ``until``, which would otherwise be jumped
+        over.  Returns the number of events fired by this call.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        self._stop_requested = False
+        self._stop_reason = None
         fired = 0
+        interrupted = False  # stopped with events possibly still due
         try:
             while True:
-                if max_events is not None and fired >= max_events:
-                    return
+                if self._stop_requested or (
+                    max_events is not None and fired >= max_events
+                ):
+                    interrupted = True
+                    break
                 self._drop_cancelled()
                 if not self._heap:
                     break
@@ -174,7 +263,10 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and until > self._now:
-            self._now = until
+            self._drop_cancelled()
+            if not (interrupted and self._heap and self._heap[0].time <= until):
+                self._now = until
+        return fired
 
     def clear(self) -> None:
         """Drop all pending events (they are marked cancelled)."""

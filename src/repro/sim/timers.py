@@ -50,6 +50,19 @@ class Timer:
         return self._event is not None and self._event.pending
 
     @property
+    def granularity(self) -> float:
+        """Current tick size in seconds (0 = exact timers)."""
+        return self._granularity
+
+    def set_granularity(self, granularity: float) -> None:
+        """Change the tick size.  Applies to subsequent (re)starts; an
+        already-armed expiration is left where it is.  Fault injection
+        uses this to model clock-granularity skew between hosts."""
+        if granularity < 0:
+            raise ConfigurationError("timer granularity must be >= 0")
+        self._granularity = granularity
+
+    @property
     def expiry(self) -> Optional[float]:
         """Absolute expiration time, or None when not armed."""
         return self._event.time if self.pending else None

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, DefaultDict, Dict, List
-from collections import defaultdict
+from collections import defaultdict, deque
 
 
 @dataclass(frozen=True)
@@ -73,3 +73,36 @@ class TraceBus:
         entirely when nobody is listening."""
         if self.has_subscribers(category):
             self.publish(TraceRecord(time=time, category=category, source=source, fields=fields))
+
+
+class TraceTail:
+    """A bounded ring buffer of the most recent trace records.
+
+    Post-mortem tooling (invariant checkers, the engine watchdog)
+    attaches the tail to its failure report so "what just happened"
+    survives the abort.  Subscribe it to a bus wildcard, or let
+    :class:`~repro.sim.invariants.InvariantSuite` feed it.
+    """
+
+    def __init__(self, capacity: int = 50):
+        if capacity < 1:
+            raise ValueError(f"tail capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: deque = deque(maxlen=capacity)
+
+    def append(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    def install(self, bus: "TraceBus") -> None:
+        """Start capturing everything published on ``bus``."""
+        bus.subscribe(TraceBus.WILDCARD, self.append)
+
+    def records(self) -> List[TraceRecord]:
+        """The captured records, oldest first."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)

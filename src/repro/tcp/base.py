@@ -149,6 +149,16 @@ class TcpSender(Agent):
     # ------------------------------------------------------------------
     # application interface
     # ------------------------------------------------------------------
+    def set_timer_granularity(self, granularity: float) -> None:
+        """Change the retransmission-timer tick at runtime (fault
+        injection models per-host clock-granularity skew this way)."""
+        self._timer.set_granularity(granularity)
+
+    @property
+    def timer_granularity(self) -> float:
+        """The retransmission timer's current tick size (seconds)."""
+        return self._timer.granularity
+
     def set_data_limit(self, packets: Optional[int]) -> None:
         """Bound the transfer to ``packets`` total (None = unbounded)."""
         if packets is not None and packets < 1:
@@ -261,7 +271,14 @@ class TcpSender(Agent):
         if not self._timer.pending:
             self._timer.start(self.rto.current())
         self.observer.on_send(now, self, seqno, retransmit)
-        self._emit("tcp.send", seqno=seqno, retransmit=retransmit)
+        self._emit(
+            "tcp.send",
+            seqno=seqno,
+            retransmit=retransmit,
+            snd_una=self.snd_una,
+            snd_nxt=self.snd_nxt,
+            maxseq=self.maxseq,
+        )
         self.send(packet)
 
     # ------------------------------------------------------------------
@@ -276,12 +293,24 @@ class TcpSender(Agent):
         ackno = packet.ackno
         if ackno > self.snd_una:
             self.observer.on_ack(self.sim.now, self, ackno, duplicate=False)
-            self._emit("tcp.ack", ackno=ackno, duplicate=False)
+            self._emit(
+                "tcp.ack",
+                ackno=ackno,
+                duplicate=False,
+                snd_una=self.snd_una,
+                snd_nxt=self.snd_nxt,
+            )
             self._process_new_ack(packet)
             self._check_complete()
         elif ackno == self.snd_una and self.flight() > 0:
             self.observer.on_ack(self.sim.now, self, ackno, duplicate=True)
-            self._emit("tcp.ack", ackno=ackno, duplicate=True)
+            self._emit(
+                "tcp.ack",
+                ackno=ackno,
+                duplicate=True,
+                snd_una=self.snd_una,
+                snd_nxt=self.snd_nxt,
+            )
             self._process_dupack(packet)
         # older ACKs are stale: ignored
         self._suppress_growth = False
@@ -407,7 +436,7 @@ class TcpSender(Agent):
             return  # nothing outstanding; spurious
         self.timeouts += 1
         self.observer.on_timeout(self.sim.now, self)
-        self._emit("tcp.timeout", snd_una=self.snd_una)
+        self._emit("tcp.timeout", snd_una=self.snd_una, snd_nxt=self.snd_nxt)
         was_in_recovery = self.in_recovery
         self.ssthresh = self._halved_ssthresh()
         self.cwnd = 1.0

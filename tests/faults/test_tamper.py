@@ -1,0 +1,68 @@
+"""Unit tests for packet tampering (duplication / corruption-drop)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.tamper import PacketTamperer
+from repro.net.packet import ack_packet, data_packet
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+def data(seqno):
+    return data_packet(1, "S1", "K1", seqno)
+
+
+class TestValidation:
+    def test_rates_out_of_range_rejected(self):
+        sim = Simulator()
+        rng = RngStream(1, "t")
+        with pytest.raises(ConfigurationError):
+            PacketTamperer(sim, rng, duplicate_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            PacketTamperer(sim, rng, corrupt_rate=-0.1)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketTamperer(Simulator(), RngStream(1, "t"), start=5.0, end=5.0)
+
+
+class TestVerdicts:
+    def test_same_seed_same_verdict_sequence(self):
+        sim = Simulator()
+        verdicts = []
+        for _ in range(2):
+            tamperer = PacketTamperer(
+                sim, RngStream(42, "tamper"), duplicate_rate=0.3, corrupt_rate=0.2
+            )
+            verdicts.append([tamperer.verdict(data(i)) for i in range(200)])
+        assert verdicts[0] == verdicts[1]
+        assert "duplicate" in verdicts[0] and "corrupt" in verdicts[0]
+
+    def test_acks_untouched_by_default(self):
+        tamperer = PacketTamperer(
+            Simulator(), RngStream(1, "t"), duplicate_rate=1.0, corrupt_rate=1.0
+        )
+        assert tamperer.verdict(ack_packet(1, "K1", "S1", 3)) is None
+
+    def test_window_gates_activity(self):
+        sim = Simulator()
+        tamperer = PacketTamperer(
+            sim, RngStream(1, "t"), corrupt_rate=1.0, start=5.0, end=10.0
+        )
+        assert tamperer.verdict(data(0)) is None  # t=0: before window
+        sim.schedule(6.0, lambda: None)
+        sim.run()
+        assert tamperer.verdict(data(1)) == "corrupt"
+        sim.schedule(5.0, lambda: None)
+        sim.run()  # t=11: after window
+        assert tamperer.verdict(data(2)) is None
+        assert tamperer.corrupted == 1
+
+    def test_clone_gets_fresh_uid(self):
+        packet = data(7)
+        copy = PacketTamperer.clone(packet)
+        assert copy.uid != packet.uid
+        assert copy.seqno == packet.seqno
+        assert copy.flow_id == packet.flow_id
+        assert copy.sack_blocks is not packet.sack_blocks

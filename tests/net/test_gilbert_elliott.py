@@ -106,3 +106,20 @@ class TestEndToEnd:
             sender, _ = scenario.flow(1)
             assert sender.completed, variant
             assert scenario.receivers[1].delivered == 150
+
+
+class TestDeterminism:
+    def test_same_seed_identical_drop_sequence(self):
+        sequences = []
+        for _ in range(2):
+            module = make(seed=17, p_good_to_bad=0.05, p_bad_to_good=0.3, p_bad=0.6)
+            sequences.append([module.should_drop(data(i)) for i in range(2000)])
+        assert sequences[0] == sequences[1]
+        assert any(sequences[0])  # the channel actually dropped something
+
+    def test_different_seeds_diverge(self):
+        a = make(seed=1, p_good_to_bad=0.05, p_bad=0.6)
+        b = make(seed=2, p_good_to_bad=0.05, p_bad=0.6)
+        assert [a.should_drop(data(i)) for i in range(2000)] != [
+            b.should_drop(data(i)) for i in range(2000)
+        ]

@@ -116,3 +116,57 @@ class TestOutageRecovery:
         scenario.sim.run(until=300.0)
         sender, _ = scenario.flow(1)
         assert sender.completed
+
+
+class TestOutageTracing:
+    def make_traced_link(self, sim):
+        from repro.sim.tracing import TraceBus
+
+        bus = TraceBus()
+        link = Link(sim, "A->B", 1e6, 0.001, DropTailQueue(100), trace=bus)
+        link.connect(SinkNode())
+        return link, bus
+
+    def test_down_up_events_published(self):
+        sim = Simulator()
+        link, bus = self.make_traced_link(sim)
+        seen = []
+        bus.subscribe("*", lambda r: seen.append((r.time, r.category)))
+        link.schedule_outage(start=1.0, duration=0.5)
+        sim.run()
+        assert seen == [(1.0, "link.down"), (1.5, "link.up")]
+
+    def test_redundant_transitions_not_emitted(self):
+        sim = Simulator()
+        link, bus = self.make_traced_link(sim)
+        seen = []
+        bus.subscribe("*", lambda r: seen.append(r.category))
+        link.set_down()
+        link.set_down()  # no-op: already down
+        link.set_up()
+        link.set_up()    # no-op: already up
+        assert seen == ["link.down", "link.up"]
+
+    def test_overlapping_outages_union(self):
+        """Two overlapping windows: the link is down for the union and
+        the trailing set_up of the first window is a harmless no-op."""
+        sim = Simulator()
+        link, bus = self.make_traced_link(sim)
+        link.schedule_outage(start=1.0, duration=1.0)   # [1.0, 2.0)
+        link.schedule_outage(start=1.5, duration=1.0)   # [1.5, 2.5)
+        probes = []
+        for t in (0.5, 1.2, 2.2, 3.0):
+            sim.schedule_at(t, lambda: probes.append((sim.now, link.is_down)))
+        sim.run()
+        # The first window's set_up at t=2.0 re-opened the link early:
+        # scheduled outages compose as toggles, documented behaviour.
+        assert probes[0] == (0.5, False)
+        assert probes[1] == (1.2, True)
+        assert probes[3] == (3.0, False)
+
+    def test_zero_duration_outage_is_legal(self):
+        sim = Simulator()
+        link, _ = self.make_traced_link(sim)
+        link.schedule_outage(start=1.0, duration=0.0)
+        sim.run()
+        assert not link.is_down

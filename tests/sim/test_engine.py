@@ -178,3 +178,171 @@ class TestRun:
         assert sim.peek_time() is None
         sim.schedule(3.0, lambda: None)
         assert sim.peek_time() == pytest.approx(3.0)
+
+
+class TestNegativeDelayClamp:
+    def test_float_epsilon_delay_clamps_to_now(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule(-1e-12, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 10.0
+
+    def test_schedule_at_accumulated_roundoff(self):
+        """Absolute-time scheduling after many 0.1s hops must not blow
+        up on the sub-epsilon negative delay FP addition produces."""
+        sim = Simulator()
+        for _ in range(1000):
+            sim.schedule(0.0, lambda: None)
+            sim.run()
+            sim.schedule(0.1, lambda: None)
+            sim.run()
+        # 1000 * 0.1 accumulated: sim.now != 100.0 exactly.
+        target = sim.now - 5e-13  # epsilon in the past
+        fired = []
+        sim.schedule_at(target, fired.append, "ok")
+        sim.run()
+        assert fired == ["ok"]
+
+    def test_genuinely_negative_delay_still_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1e-6, lambda: None)
+
+
+class TestRunClockAdvance:
+    def test_until_advances_clock_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_after_drain_still_advances(self):
+        """The early-exit path (max_events hit once the queue is empty)
+        must leave the same clock as a plain run-to-until."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        fired = sim.run(until=10.0, max_events=2)
+        assert fired == 2
+        assert sim.now == 10.0
+
+    def test_max_events_mid_stream_does_not_jump_events(self):
+        """With events still due before ``until``, stopping early must
+        NOT advance the clock past them."""
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        fired = sim.run(until=10.0, max_events=2)
+        assert fired == 2
+        assert sim.now == 2.0
+        # Resuming picks up the remaining event, then advances.
+        fired = sim.run(until=10.0)
+        assert fired == 1
+        assert sim.now == 10.0
+
+    def test_run_returns_fired_count(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.schedule(t, lambda: None)
+        assert sim.run() == 2
+
+
+class TestRequestStop:
+    def test_stop_from_callback_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.request_stop("done")))
+        sim.schedule(2.0, fired.append, 2)
+        sim.run(until=10.0)
+        assert fired == [1]
+        assert sim.stop_requested
+        assert sim.stop_reason == "done"
+        # The stopped run did not advance past the still-due event.
+        assert sim.now == 1.0
+
+    def test_stop_state_clears_on_next_run(self):
+        sim = Simulator()
+        sim.schedule(1.0, sim.request_stop)
+        sim.run()
+        assert sim.stop_requested
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert not sim.stop_requested
+        assert sim.stop_reason is None
+        assert sim.now == 5.0
+
+
+class TestPendingCounter:
+    def test_counter_tracks_schedule_cancel_fire(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        events[0].cancel()
+        events[0].cancel()  # idempotent: no double decrement
+        assert sim.pending_events == 4
+        sim.step()  # fires the t=2 event
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert sim.pending_events == 0
+
+    def test_counter_matches_heap_scan(self):
+        """The O(1) counter agrees with a brute-force pending scan
+        under a mixed schedule/cancel/fire workload."""
+        sim = Simulator()
+        events = []
+        for i in range(50):
+            events.append(sim.schedule(float(i % 7) + 1.0, lambda: None))
+            if i % 3 == 0:
+                events[i // 2].cancel()
+            if i % 11 == 0:
+                sim.step()
+        assert sim.pending_events == sum(1 for e in events if e.pending)
+
+    def test_clear_zeroes_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.clear()
+        assert sim.pending_events == 0
+
+
+class TestCallbackHardening:
+    def test_foreign_exception_wrapped_with_context(self):
+        from repro.errors import CallbackError
+
+        sim = Simulator()
+
+        def boom():
+            raise ValueError("kapow")
+
+        sim.schedule(1.5, boom)
+        with pytest.raises(CallbackError) as excinfo:
+            sim.run()
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert excinfo.value.sim_time == 1.5
+        assert "kapow" in str(excinfo.value)
+        assert excinfo.value.event is not None
+
+    def test_repro_error_passes_through_with_sim_context(self):
+        from repro.errors import ProtocolError
+
+        sim = Simulator()
+
+        def boom():
+            raise ProtocolError("bad state")
+
+        sim.schedule(2.0, boom)
+        with pytest.raises(ProtocolError) as excinfo:
+            sim.run()
+        context = excinfo.value.sim_context
+        assert context["sim_time"] == 2.0
+        assert context["events_processed"] == 1
