@@ -3,81 +3,34 @@
 Unlike the experiment benches (one timed round), these use real
 pytest-benchmark statistics — they are small and fast.  They guard
 against performance regressions in the hot paths: event scheduling,
-link forwarding and a full end-to-end TCP round.
+link forwarding and a full end-to-end TCP round.  The workloads live
+in :mod:`workloads` so ``scripts/bench.py`` records baselines from
+exactly the same code (committed as BENCH_engine.json).
 """
 
-import pytest
-
-from repro.experiments.common import FlowSpec, build_dumbbell_scenario
-from repro.net.topology import DumbbellParams
-from repro.sim.engine import Simulator
+import workloads
 
 
 def test_bench_event_scheduling(benchmark):
     """Schedule-and-drain 10k events."""
-
-    def run():
-        sim = Simulator()
-        for i in range(10_000):
-            sim.schedule(i * 0.001, lambda: None)
-        sim.run()
-        return sim.events_processed
-
-    events = benchmark(run)
+    events = benchmark(workloads.event_scheduling)
     assert events == 10_000
 
 
 def test_bench_timer_churn(benchmark):
     """The retransmission-timer pattern: restart far more often than
     firing (one restart per ACK)."""
-    from repro.sim.timers import Timer
-
-    def run():
-        sim = Simulator()
-        fired = []
-        timer = Timer(sim, lambda: fired.append(sim.now))
-        for _ in range(5_000):
-            timer.restart(10.0)  # never fires: constantly pushed back
-        timer.stop()
-        sim.run()
-        return len(fired)
-
-    assert benchmark(run) == 0
+    assert benchmark(workloads.timer_churn) == 5_000
 
 
 def test_bench_end_to_end_transfer(benchmark):
     """A complete 200-packet RR transfer through the dumbbell —
     the macro cost of one simulated connection."""
-
-    def run():
-        scenario = build_dumbbell_scenario(
-            flows=[FlowSpec(variant="rr", amount_packets=200)],
-            params=DumbbellParams(n_pairs=1, buffer_packets=25),
-        )
-        scenario.sim.run(until=60.0)
-        return scenario.senders[1].completed
-
-    assert benchmark(run) is True
+    events = benchmark(workloads.end_to_end_transfer)
+    assert events > 0
 
 
 def test_bench_ten_flow_red_second(benchmark):
     """One simulated second of the Figure-6 workload (10 flows, RED)."""
-    from repro.net.red import RedParams, RedQueue
-    from repro.sim.rng import RngStream
-
-    def run():
-        sim = Simulator()
-        rng = RngStream(7, "red")
-        scenario = build_dumbbell_scenario(
-            flows=[FlowSpec(variant="rr", amount_packets=None) for _ in range(10)],
-            params=DumbbellParams(n_pairs=10, buffer_packets=25),
-            bottleneck_queue_factory=lambda name: RedQueue(
-                sim, RedParams(), rng.substream(name), name=name
-            ),
-            sim=sim,
-        )
-        scenario.sim.run(until=1.0)
-        return scenario.sim.events_processed
-
-    events = benchmark(run)
+    events = benchmark(workloads.ten_flow_red_second)
     assert events > 100

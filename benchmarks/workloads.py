@@ -1,0 +1,77 @@
+"""Engine micro-benchmark workloads, as plain callables.
+
+Shared between the pytest-benchmark suite (``test_bench_engine.py``)
+and the standalone baseline recorder (``scripts/bench.py``) so both
+time exactly the same code.  Each workload returns the number of
+engine events it processed (0 where the workload is not event-counted)
+so callers can report events/sec.
+"""
+
+from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.red import RedParams, RedQueue
+from repro.net.topology import DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+from repro.sim.timers import Timer
+
+
+def event_scheduling(n: int = 10_000) -> int:
+    """Schedule-and-drain ``n`` events."""
+    sim = Simulator()
+    for i in range(n):
+        sim.schedule(i * 0.001, lambda: None)
+    sim.run()
+    return sim.events_processed
+
+
+def timer_churn(n: int = 5_000) -> int:
+    """The retransmission-timer pattern: restart far more often than
+    firing (one restart per ACK).  Returns restarts performed."""
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    for _ in range(n):
+        timer.restart(10.0)  # never fires: constantly pushed back
+    timer.stop()
+    sim.run()
+    assert not fired
+    return n
+
+
+def end_to_end_transfer(packets: int = 200) -> int:
+    """A complete RR transfer through the dumbbell — the macro cost of
+    one simulated connection.  Returns events processed; raises if the
+    transfer did not complete (a broken bench must not time silence)."""
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant="rr", amount_packets=packets)],
+        params=DumbbellParams(n_pairs=1, buffer_packets=25),
+    )
+    scenario.sim.run(until=60.0)
+    if not scenario.senders[1].completed:
+        raise AssertionError("benchmark transfer did not complete")
+    return scenario.sim.events_processed
+
+
+def ten_flow_red_second(duration: float = 1.0) -> int:
+    """One simulated second of the Figure-6 workload (10 flows, RED)."""
+    sim = Simulator()
+    rng = RngStream(7, "red")
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant="rr", amount_packets=None) for _ in range(10)],
+        params=DumbbellParams(n_pairs=10, buffer_packets=25),
+        bottleneck_queue_factory=lambda name: RedQueue(
+            sim, RedParams(), rng.substream(name), name=name
+        ),
+        sim=sim,
+    )
+    scenario.sim.run(until=duration)
+    return scenario.sim.events_processed
+
+
+#: name -> (workload, kwargs) — the suite scripts/bench.py records.
+MICRO_WORKLOADS = {
+    "event_scheduling": (event_scheduling, {}),
+    "timer_churn": (timer_churn, {}),
+    "end_to_end_transfer": (end_to_end_transfer, {}),
+    "ten_flow_red_second": (ten_flow_red_second, {}),
+}

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Record the repo's performance trajectory.
+
+Runs the engine micro-benchmarks (the same workloads as
+``benchmarks/test_bench_engine.py``) plus one macro experiment campaign
+through :mod:`repro.runner`, and writes two JSON baselines:
+
+* ``BENCH_engine.json``      — events/sec per engine workload;
+* ``BENCH_experiments.json`` — campaign wall-clock per cell, parallel
+  speedup and cache-replay hit rate.
+
+Committed baselines live at the repo root; ``--check`` compares a fresh
+run against them and exits non-zero on a >30% events/sec regression
+(tunable via ``--max-regression``).  ``--quick`` trims repeats and the
+macro campaign for CI smoke runs — the micro workloads themselves are
+unchanged, so events/sec stays comparable to a full run.
+
+Usage::
+
+    python scripts/bench.py                 # refresh baselines in-place
+    python scripts/bench.py --quick --check --out bench-out   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from workloads import MICRO_WORKLOADS  # noqa: E402
+
+from repro.experiments.figure5 import Figure5Config, run_figure5  # noqa: E402
+from repro.runner import ResultCache, SweepRunner, default_jobs  # noqa: E402
+
+ENGINE_BASELINE = "BENCH_engine.json"
+EXPERIMENTS_BASELINE = "BENCH_experiments.json"
+
+
+def time_workload(fn, kwargs, repeats: int) -> dict:
+    """Best-of-``repeats`` timing (one untimed warmup)."""
+    events = fn(**kwargs)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(**kwargs)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "seconds": round(best, 6),
+        "events": events,
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def bench_engine(repeats: int) -> dict:
+    benches = {}
+    for name, (fn, kwargs) in MICRO_WORKLOADS.items():
+        benches[name] = time_workload(fn, kwargs, repeats)
+        print(
+            f"  {name:<24} {benches[name]['seconds'] * 1000:8.2f} ms"
+            f"  {benches[name]['events_per_sec']:>12,.0f} ev/s"
+        )
+    return benches
+
+
+def bench_experiments(quick: bool, jobs: int) -> dict:
+    """The macro campaign: figure5's grid, cold then cache-replayed."""
+    config = Figure5Config()
+    if quick:
+        config.transfer_packets = 300
+        config.sim_duration = 30.0
+    cells = len(config.drop_counts) * len(config.variants)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        runner = SweepRunner(jobs=jobs, cache=ResultCache(root=tmp))
+        start = time.perf_counter()
+        run_figure5(config, runner=runner)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        run_figure5(config, runner=runner)
+        warm = time.perf_counter() - start
+        hit_rate = runner.stats.cache_hit_rate
+    serial_runner = SweepRunner(jobs=1)
+    start = time.perf_counter()
+    run_figure5(config, runner=serial_runner)
+    serial = time.perf_counter() - start
+    report = {
+        "campaign": "figure5" + ("-quick" if quick else ""),
+        "cells": cells,
+        "jobs": jobs,
+        "serial_seconds": round(serial, 3),
+        "cold_seconds": round(cold, 3),
+        "warm_seconds": round(warm, 4),
+        "seconds_per_cell": round(cold / cells, 4),
+        "parallel_speedup": round(serial / cold, 2) if cold else None,
+        "cache_hit_rate": hit_rate,
+        "warm_over_cold": round(warm / cold, 4) if cold else None,
+    }
+    for key, value in report.items():
+        print(f"  {key:<18} {value}")
+    return report
+
+
+def check_regression(fresh: dict, baseline_path: Path, max_regression: float) -> int:
+    """Compare fresh events/sec against the committed baseline."""
+    if not baseline_path.exists():
+        print(f"no committed baseline at {baseline_path}; skipping check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    failures = 0
+    for name, fresh_bench in fresh.items():
+        base_bench = baseline.get("benches", {}).get(name)
+        if base_bench is None:
+            continue
+        base_rate = base_bench["events_per_sec"]
+        fresh_rate = fresh_bench["events_per_sec"]
+        if not base_rate:
+            continue
+        delta = fresh_rate / base_rate - 1.0
+        verdict = "ok"
+        if delta < -max_regression:
+            verdict = "REGRESSION"
+            failures += 1
+        print(
+            f"  {name:<24} baseline {base_rate:>12,.0f}  fresh {fresh_rate:>12,.0f}"
+            f"  ({delta:+.1%})  {verdict}"
+        )
+    if failures:
+        print(f"{failures} workload(s) regressed more than {max_regression:.0%}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on events/sec regression vs the committed BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="tolerated fractional events/sec drop for --check (default 0.30)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="workers for the macro campaign (default: up to 4)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write BENCH_*.json to DIR instead of the repo root",
+    )
+    args = parser.parse_args(argv)
+    repeats = 3 if args.quick else 7
+    jobs = args.jobs or min(4, default_jobs())
+    out_dir = Path(args.out) if args.out else REPO_ROOT
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "schema": 1,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+    print("engine micro-benchmarks:")
+    benches = bench_engine(repeats)
+    (out_dir / ENGINE_BASELINE).write_text(
+        json.dumps({**meta, "benches": benches}, indent=2) + "\n"
+    )
+
+    print("experiment macro campaign:")
+    campaign = bench_experiments(args.quick, jobs)
+    (out_dir / EXPERIMENTS_BASELINE).write_text(
+        json.dumps({**meta, "campaign": campaign}, indent=2) + "\n"
+    )
+    print(f"wrote {out_dir / ENGINE_BASELINE} and {out_dir / EXPERIMENTS_BASELINE}")
+
+    if args.check:
+        print("regression check:")
+        return check_regression(
+            benches, REPO_ROOT / ENGINE_BASELINE, args.max_regression
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

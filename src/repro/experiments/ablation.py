@@ -31,6 +31,7 @@ from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.metrics.throughput import goodput_bps, loss_recovery_span, loss_recovery_throughput
 from repro.net.loss import DeterministicLoss
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.viz.ascii import format_table
 
 
@@ -166,11 +167,21 @@ def run_one(name: str, config: AblationConfig) -> AblationRow:
     )
 
 
-def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
+def run_ablation(
+    config: Optional[AblationConfig] = None, runner: Optional[SweepRunner] = None
+) -> AblationResult:
     config = config or AblationConfig()
+    runner = runner or SweepRunner()
     result = AblationResult(config=config)
-    for name in config.ablations:
-        result.rows.append(run_one(name, config))
+    specs = [
+        TaskSpec(
+            fn="repro.experiments.ablation:run_one",
+            args=(name, config),
+            label=f"ablation {name}",
+        )
+        for name in config.ablations
+    ]
+    result.rows.extend(runner.map(specs))
     return result
 
 

@@ -25,6 +25,7 @@ from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.metrics.throughput import goodput_bps
 from repro.net.loss import AckLoss, DeterministicLoss
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.sim.rng import RngStream
 from repro.viz.ascii import format_table
 
@@ -97,12 +98,22 @@ def run_point(variant: str, ack_rate: float, config: AckLossConfig) -> AckLossRo
     )
 
 
-def run_ackloss(config: Optional[AckLossConfig] = None) -> AckLossResult:
+def run_ackloss(
+    config: Optional[AckLossConfig] = None, runner: Optional[SweepRunner] = None
+) -> AckLossResult:
     config = config or AckLossConfig()
+    runner = runner or SweepRunner()
     result = AckLossResult(config=config)
-    for variant in config.variants:
-        for rate in config.ack_loss_rates:
-            result.rows.append(run_point(variant, rate, config))
+    specs = [
+        TaskSpec(
+            fn="repro.experiments.ackloss:run_point",
+            args=(variant, rate, config),
+            label=f"ackloss {variant}/{rate}",
+        )
+        for variant in config.variants
+        for rate in config.ack_loss_rates
+    ]
+    result.rows.extend(runner.map(specs))
     return result
 
 

@@ -23,6 +23,7 @@ from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.metrics.throughput import effective_throughput_bps
 from repro.net.loss import GilbertElliott
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.sim.rng import RngStream
 from repro.viz.ascii import format_table
 
@@ -106,12 +107,22 @@ def run_point(variant: str, burst_length: float, config: BurstChannelConfig) -> 
     )
 
 
-def run_burstchannel(config: Optional[BurstChannelConfig] = None) -> BurstChannelResult:
+def run_burstchannel(
+    config: Optional[BurstChannelConfig] = None, runner: Optional[SweepRunner] = None
+) -> BurstChannelResult:
     config = config or BurstChannelConfig()
+    runner = runner or SweepRunner()
     result = BurstChannelResult(config=config)
-    for variant in config.variants:
-        for burst_length in config.burst_lengths:
-            result.rows.append(run_point(variant, burst_length, config))
+    specs = [
+        TaskSpec(
+            fn="repro.experiments.burstchannel:run_point",
+            args=(variant, burst_length, config),
+            label=f"burst {variant}/{burst_length}",
+        )
+        for variant in config.variants
+        for burst_length in config.burst_lengths
+    ]
+    result.rows.extend(runner.map(specs))
     return result
 
 

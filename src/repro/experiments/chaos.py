@@ -29,6 +29,7 @@ from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.faults.campaign import CampaignRunner, CampaignSpec
 from repro.faults.plan import FaultContext, FaultPlan
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.sim.invariants import InvariantSuite
 from repro.sim.watchdog import CrashReport, Watchdog
 from repro.viz.ascii import format_table
@@ -196,22 +197,57 @@ def _run_one(
     return run
 
 
-def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosResult:
+def run_cell(variant: str, config: ChaosConfig, seed_index: int = -1) -> ChaosRun:
+    """One chaos cell, self-contained for process fan-out.
+
+    ``seed_index < 0`` is the fault-free baseline; otherwise the worker
+    rebuilds campaign plan ``seed_index`` from ``(config.seed_base,
+    config.campaign)`` — :meth:`CampaignRunner.plan_for` is pure in
+    those arguments, so no plan crosses the process boundary and
+    parallel campaigns match serial ones bit for bit.
+    """
+    plan = None
+    if seed_index >= 0:
+        campaign = CampaignRunner(seed=config.seed_base, spec=config.campaign)
+        plan = campaign.plan_for(seed_index)
+    return _run_one(variant, config, plan, seed_index)
+
+
+def run_chaos(
+    config: Optional[ChaosConfig] = None, runner: Optional[SweepRunner] = None
+) -> ChaosResult:
     """All variants x ``seeds`` campaigns (+ one baseline per variant)."""
     config = config or ChaosConfig()
+    runner = runner or SweepRunner()
     result = ChaosResult(config=config)
-    runner = CampaignRunner(seed=config.seed_base, spec=config.campaign)
+    campaign = CampaignRunner(seed=config.seed_base, spec=config.campaign)
+    specs: List[TaskSpec] = []
     for variant in config.variants:
-        baseline = _run_one(variant, config, plan=None)
+        specs.append(
+            TaskSpec(
+                fn="repro.experiments.chaos:run_cell",
+                args=(variant, config),
+                label=f"chaos {variant} baseline",
+            )
+        )
+        specs.extend(
+            campaign.cell_specs(
+                "repro.experiments.chaos:run_cell",
+                config.seeds,
+                args=(variant, config),
+            )
+        )
+    cells = runner.map(specs)
+    per_variant = 1 + config.seeds
+    for slot, variant in enumerate(config.variants):
+        baseline, *campaign_runs = cells[slot * per_variant : (slot + 1) * per_variant]
         if baseline.finish_time is None:
             raise RuntimeError(
                 f"fault-free baseline for {variant!r} did not complete "
                 f"within {config.sim_duration}s"
             )
         result.baselines[variant] = baseline.finish_time
-        for seed_index in range(config.seeds):
-            plan = runner.plan_for(seed_index)
-            result.runs.append(_run_one(variant, config, plan, seed_index))
+        result.runs.extend(campaign_runs)
     return result
 
 

@@ -6,6 +6,13 @@ and the robustness harness (chaos), or ``all``.  ``--quick`` shrinks
 sweeps for smoke runs; ``--out DIR`` additionally writes each report to
 ``DIR/<id>.txt``; ``--seeds`` / ``--variants`` size the chaos campaign
 (see docs/FAULTS.md).
+
+Every experiment grid is executed through :mod:`repro.runner`:
+``--jobs N`` fans the independent cells out over N worker processes
+(bit-identical results at any N), and completed cells are memoized in
+an on-disk cache keyed by task + code fingerprint, so repeating a run
+is nearly free.  ``--no-cache`` forces recomputation; see
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -26,81 +33,86 @@ from repro.experiments import (
     table5,
     vegas_decomposition,
 )
+from repro.runner import ResultCache, SweepRunner
 
 
-def _run_fig5(args):
+def _run_fig5(args, runner):
     config = figure5.Figure5Config()
     if args.quick:
         config.transfer_packets = 300
         config.sim_duration = 30.0
-    result = figure5.run_figure5(config)
+    result = figure5.run_figure5(config, runner=runner)
     return figure5.format_report(result), result, "fig5"
 
 
-def _run_fig6(args):
+def _run_fig6(args, runner):
     config = figure6.Figure6Config()
     if args.quick:
         config.duration = 3.0
-    result = figure6.run_figure6(config)
+    result = figure6.run_figure6(config, runner=runner)
     return figure6.format_report(result, plots=not args.quick), result, "fig6"
 
 
-def _run_fig7(args):
+def _run_fig7(args, runner):
     config = figure7.Figure7Config()
     if args.quick:
         config.loss_rates = (0.01, 0.05, 0.1)
         config.duration = 30.0
         config.runs_per_point = 1
-    result = figure7.run_figure7(config)
+    result = figure7.run_figure7(config, runner=runner)
     return figure7.format_report(result, plot=not args.quick), result, "fig7"
 
 
-def _run_table5(args):
+def _run_table5(args, runner):
     config = table5.Table5Config()
     if args.quick:
         config.sim_duration = 90.0
         config.runs_per_case = 2
-    result = table5.run_table5(config)
+    result = table5.run_table5(config, runner=runner)
     return table5.format_report(result), result, "table5"
 
 
-def _run_burst(args):
+def _run_burst(args, runner):
     config = burstchannel.BurstChannelConfig()
     if args.quick:
         config.runs_per_point = 1
         config.transfer_packets = 200
-    result = burstchannel.run_burstchannel(config)
+    result = burstchannel.run_burstchannel(config, runner=runner)
     return burstchannel.format_report(result), result, "burst"
 
 
-def _run_ackloss(args):
+def _run_ackloss(args, runner):
     config = ackloss.AckLossConfig()
     if args.quick:
         config.ack_loss_rates = (0.0, 0.1)
         config.runs_per_point = 1
         config.sim_duration = 30.0
-    return ackloss.format_report(ackloss.run_ackloss(config)), None, None
+    return ackloss.format_report(ackloss.run_ackloss(config, runner=runner)), None, None
 
 
-def _run_ablation(args):
+def _run_ablation(args, runner):
     config = ablation.AblationConfig()
     if args.quick:
         config.transfer_packets = 300
         config.sim_duration = 30.0
-    return ablation.format_report(ablation.run_ablation(config)), None, None
+    return (
+        ablation.format_report(ablation.run_ablation(config, runner=runner)),
+        None,
+        None,
+    )
 
 
-def _run_vegas(args):
+def _run_vegas(args, runner):
     config = vegas_decomposition.VegasDecompositionConfig()
     if args.quick:
         config.transfer_packets = 200
         config.sim_duration = 60.0
     return vegas_decomposition.format_report(
-        vegas_decomposition.run_vegas_decomposition(config)
+        vegas_decomposition.run_vegas_decomposition(config, runner=runner)
     ), None, None
 
 
-def _run_chaos(args):
+def _run_chaos(args, runner):
     config = chaos.ChaosConfig()
     if args.quick:
         config.seeds = 2
@@ -110,7 +122,7 @@ def _run_chaos(args):
         config.seeds = args.seeds
     if getattr(args, "variants", None):
         config.variants = tuple(args.variants)
-    return chaos.format_report(chaos.run_chaos(config)), None, None
+    return chaos.format_report(chaos.run_chaos(config, runner=runner)), None, None
 
 
 EXPERIMENTS = {
@@ -125,6 +137,14 @@ EXPERIMENTS = {
     "chaos": _run_chaos,
 }
 
+#: Long-form spellings accepted on the command line.
+ALIASES = {"figure5": "fig5", "figure6": "fig6", "figure7": "fig7"}
+
+
+def build_runner(jobs: int = 1, cache: bool = True) -> SweepRunner:
+    """The CLI's sweep runner: N workers + the default on-disk cache."""
+    return SweepRunner(jobs=jobs, cache=ResultCache() if cache else None)
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -134,11 +154,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=sorted(EXPERIMENTS) + sorted(ALIASES) + ["all"],
         help="experiment id from DESIGN.md",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps for a fast smoke run"
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep grid (default 1 = in-process)",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=True,
+        help="memoize completed cells on disk (default; see docs/PERFORMANCE.md)",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="recompute every cell, ignore and do not write the cache",
     )
     parser.add_argument(
         "--out",
@@ -160,14 +202,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="chaos only: restrict to these TCP variants",
     )
     args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    experiment = ALIASES.get(args.experiment, args.experiment)
+    names = sorted(EXPERIMENTS) if experiment == "all" else [experiment]
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
+    runner = build_runner(jobs=args.jobs, cache=args.cache)
     for name in names:
-        report, result, export_id = EXPERIMENTS[name](args)
+        report, result, export_id = EXPERIMENTS[name](args, runner)
         print(f"===== {name} =====")
         print(report)
+        stats = runner.stats
+        if stats.total:
+            print(
+                f"[runner] {stats.total} cells: {stats.cache_hits} cached,"
+                f" {stats.executed} executed on {stats.jobs} job(s)"
+                f" in {stats.wall_seconds:.2f}s"
+            )
         print()
         if out_dir is not None:
             (out_dir / f"{name}.txt").write_text(report + "\n")

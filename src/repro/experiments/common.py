@@ -8,7 +8,7 @@ source), and drop watching on the trace bus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.app.ftp import FtpSource
@@ -74,7 +74,7 @@ def build_dumbbell_scenario(
         sim = Simulator()
     topo_params = params or DumbbellParams()
     if topo_params.n_pairs < len(flows):
-        topo_params = DumbbellParams(**{**topo_params.__dict__, "n_pairs": len(flows)})
+        topo_params = replace(topo_params, n_pairs=len(flows))
     bell = Dumbbell(
         sim,
         topo_params,

@@ -38,6 +38,7 @@ from repro.metrics.throughput import (
 )
 from repro.net.loss import DeterministicLoss
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.viz.ascii import format_table
 
 
@@ -118,13 +119,23 @@ def run_single(variant: str, n_drops: int, config: Figure5Config) -> Figure5Row:
     )
 
 
-def run_figure5(config: Optional[Figure5Config] = None) -> Figure5Result:
+def run_figure5(
+    config: Optional[Figure5Config] = None, runner: Optional[SweepRunner] = None
+) -> Figure5Result:
     """Regenerate both panels of Figure 5."""
     config = config or Figure5Config()
+    runner = runner or SweepRunner()
     result = Figure5Result(config=config)
-    for n_drops in config.drop_counts:
-        for variant in config.variants:
-            result.rows.append(run_single(variant, n_drops, config))
+    specs = [
+        TaskSpec(
+            fn="repro.experiments.figure5:run_single",
+            args=(variant, n_drops, config),
+            label=f"fig5 {variant}/{n_drops}-drop",
+        )
+        for n_drops in config.drop_counts
+        for variant in config.variants
+    ]
+    result.rows.extend(runner.map(specs))
     return result
 
 

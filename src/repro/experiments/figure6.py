@@ -27,6 +27,7 @@ from repro.metrics.timeseries import SequenceTrace, SequenceTracer
 from repro.metrics.throughput import effective_throughput_bps
 from repro.net.red import RedParams, RedQueue
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.sim.rng import RngStream
 from repro.viz.ascii import ascii_scatter, format_table
 
@@ -108,12 +109,23 @@ def run_variant(variant: str, config: Figure6Config) -> Figure6FlowResult:
     )
 
 
-def run_figure6(config: Optional[Figure6Config] = None) -> Figure6Result:
+def run_figure6(
+    config: Optional[Figure6Config] = None, runner: Optional[SweepRunner] = None
+) -> Figure6Result:
     """Regenerate all three panels of Figure 6."""
     config = config or Figure6Config()
+    runner = runner or SweepRunner()
     result = Figure6Result(config=config)
-    for variant in config.variants:
-        result.flows[variant] = run_variant(variant, config)
+    specs = [
+        TaskSpec(
+            fn="repro.experiments.figure6:run_variant",
+            args=(variant, config),
+            label=f"fig6 {variant}",
+        )
+        for variant in config.variants
+    ]
+    for variant, flow in zip(config.variants, runner.map(specs)):
+        result.flows[variant] = flow
     return result
 
 

@@ -26,6 +26,7 @@ from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.models.mathis import MATHIS_C_ACK_EVERY_PACKET, PAPER_C, mathis_window
 from repro.net.loss import UniformLoss
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.sim.rng import RngStream
 from repro.viz.ascii import ascii_scatter, format_table
 
@@ -115,13 +116,23 @@ def run_point(variant: str, loss_rate: float, config: Figure7Config) -> Figure7P
     )
 
 
-def run_figure7(config: Optional[Figure7Config] = None) -> Figure7Result:
+def run_figure7(
+    config: Optional[Figure7Config] = None, runner: Optional[SweepRunner] = None
+) -> Figure7Result:
     """Regenerate Figure 7's sweep."""
     config = config or Figure7Config()
+    runner = runner or SweepRunner()
     result = Figure7Result(config=config)
-    for variant in config.variants:
-        for loss_rate in config.loss_rates:
-            result.points.append(run_point(variant, loss_rate, config))
+    specs = [
+        TaskSpec(
+            fn="repro.experiments.figure7:run_point",
+            args=(variant, loss_rate, config),
+            label=f"fig7 {variant}/p={loss_rate}",
+        )
+        for variant in config.variants
+        for loss_rate in config.loss_rates
+    ]
+    result.points.extend(runner.map(specs))
     return result
 
 

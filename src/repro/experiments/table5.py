@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.metrics.fairness import jain_index
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.sim.rng import RngStream
 from repro.viz.ascii import format_table
 
@@ -154,12 +155,22 @@ def run_case(target_variant: str, background_variant: str, config: Table5Config)
     )
 
 
-def run_table5(config: Optional[Table5Config] = None) -> Table5Result:
+def run_table5(
+    config: Optional[Table5Config] = None, runner: Optional[SweepRunner] = None
+) -> Table5Result:
     """Regenerate all four cases of Table 5."""
     config = config or Table5Config()
+    runner = runner or SweepRunner()
     result = Table5Result(config=config)
-    for target_variant, background_variant in config.cases:
-        result.rows.append(run_case(target_variant, background_variant, config))
+    specs = [
+        TaskSpec(
+            fn="repro.experiments.table5:run_case",
+            args=(target_variant, background_variant, config),
+            label=f"table5 {target_variant}/{background_variant}",
+        )
+        for target_variant, background_variant in config.cases
+    ]
+    result.rows.extend(runner.map(specs))
     return result
 
 

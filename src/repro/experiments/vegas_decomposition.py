@@ -33,6 +33,7 @@ from repro.config import TcpConfig
 from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.net.loss import DeterministicLoss
 from repro.net.topology import DumbbellParams
+from repro.runner import SweepRunner, TaskSpec
 from repro.tcp.reno import RenoSender
 from repro.tcp.vegas import VegasSender
 from repro.viz.ascii import format_table
@@ -117,11 +118,20 @@ def run_one(name: str, config: VegasDecompositionConfig) -> VegasDecompositionRo
 
 def run_vegas_decomposition(
     config: Optional[VegasDecompositionConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> VegasDecompositionResult:
     config = config or VegasDecompositionConfig()
+    runner = runner or SweepRunner()
     result = VegasDecompositionResult(config=config)
-    for name in config.configurations:
-        result.rows.append(run_one(name, config))
+    specs = [
+        TaskSpec(
+            fn="repro.experiments.vegas_decomposition:run_one",
+            args=(name, config),
+            label=f"vegas {name}",
+        )
+        for name in config.configurations
+    ]
+    result.rows.extend(runner.map(specs))
     return result
 
 

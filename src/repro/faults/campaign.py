@@ -129,6 +129,23 @@ class CampaignRunner:
     def plans(self, count: int) -> List[FaultPlan]:
         return [self.plan_for(i) for i in range(count)]
 
+    def cell_specs(self, fn: str, count: int, args: Sequence = ()) -> List["TaskSpec"]:
+        """Describe ``count`` campaign cells as runner task specs.
+
+        Cell *i* calls ``fn(*args, i)`` — the plan index is the last
+        positional argument, and the worker rebuilds plan *i* itself
+        (``plan_for`` is pure in ``(seed, spec, index)``), so fanning a
+        campaign out over a :class:`~repro.runner.SweepRunner` ships no
+        plan objects across the process boundary and is bit-identical
+        to drawing the plans serially.
+        """
+        from repro.runner import TaskSpec
+
+        return [
+            TaskSpec(fn=fn, args=(*args, i), label=f"campaign-{self.seed}-{i}")
+            for i in range(count)
+        ]
+
     def _window(self, rng: RngStream, max_len: float) -> Tuple[float, float]:
         """A [start, end) episode fully inside [warmup, horizon)."""
         spec = self.spec

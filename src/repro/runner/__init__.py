@@ -1,0 +1,29 @@
+"""Parallel sweep execution with deterministic result caching.
+
+The experiment layer describes each simulation cell as a
+:class:`TaskSpec` (a named top-level callable plus picklable,
+canonically-hashable arguments), and a :class:`SweepRunner` fans the
+cells out over a process pool and/or replays them from an on-disk
+:class:`ResultCache` keyed by ``(task digest, code fingerprint)``.
+See docs/PERFORMANCE.md for the architecture and guarantees.
+"""
+
+from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.fingerprint import code_fingerprint, package_root
+from repro.runner.pool import SweepRunner, SweepStats, default_jobs, run_tasks
+from repro.runner.spec import TaskSpec, canonicalize, resolve
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "SweepRunner",
+    "SweepStats",
+    "TaskSpec",
+    "canonicalize",
+    "code_fingerprint",
+    "default_jobs",
+    "package_root",
+    "resolve",
+    "run_tasks",
+]

@@ -1,0 +1,96 @@
+"""On-disk content-addressed result cache for sweep cells.
+
+Layout::
+
+    <root>/                      default .repro-cache/ (REPRO_CACHE_DIR
+      <fingerprint[:16]>/          overrides), one dir per code version
+        <task digest>.pkl          pickled {"canonical": ..., "result": ...}
+
+A lookup is ``(code fingerprint, task digest) -> pickle``; a miss after
+an edit to ``src/repro`` is therefore automatic (new fingerprint, new
+directory) and stale entries are simply orphaned directories you can
+delete wholesale.  Writes are atomic (tmp file + ``os.replace``) so a
+crashed or concurrent run never leaves a torn entry; the stored
+canonical string is re-checked on load to turn any (astronomically
+unlikely) digest collision into a miss instead of a wrong answer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.runner.fingerprint import code_fingerprint
+from repro.runner.spec import TaskSpec
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Sentinel distinguishing "miss" from a legitimately-None result.
+_MISS = object()
+
+
+class ResultCache:
+    """Memoizes completed :class:`TaskSpec` results on disk."""
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        fingerprint: Optional[str] = None,
+    ):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec: TaskSpec) -> Path:
+        return self.root / self.fingerprint[:16] / f"{spec.digest()}.pkl"
+
+    def lookup(self, spec: TaskSpec) -> Tuple[bool, Any]:
+        """``(True, result)`` on a hit, ``(False, None)`` on a miss."""
+        path = self._path(spec)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self.misses += 1
+            return False, None
+        if payload.get("canonical") != spec.canonical():
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, payload["result"]
+
+    def store(self, spec: TaskSpec, result: Any) -> bool:
+        """Persist ``result``; returns False (and caches nothing) when
+        the result does not pickle, so exotic cells degrade to
+        recompute-every-time instead of failing the sweep."""
+        path = self._path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            blob = pickle.dumps({"canonical": spec.canonical(), "result": result})
+        except (pickle.PickleError, TypeError, AttributeError):
+            return False
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        return True
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

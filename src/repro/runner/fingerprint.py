@@ -1,0 +1,47 @@
+"""Code fingerprint: one hash over the whole ``repro`` source tree.
+
+The result cache keys every entry by ``(task digest, code
+fingerprint)`` so that *any* source edit invalidates *all* cached
+results — coarse, but safe: a cached cell can never survive a change
+to the code that produced it, and an unrelated edit elsewhere on the
+machine (docs, tests, scripts) costs nothing because only files under
+the installed ``repro`` package participate.
+
+The walk hashes every ``*.py`` under the package root as
+``relative-path + NUL + content`` pairs in sorted path order, so both
+renames and edits change the fingerprint.  Computing it costs a few
+milliseconds; it is memoized per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+_CACHE: dict = {}
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def code_fingerprint(root: Optional[Path] = None) -> str:
+    """SHA-256 over every ``*.py`` below ``root`` (default: ``repro``)."""
+    root = Path(root) if root is not None else package_root()
+    key = str(root)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    result = digest.hexdigest()
+    _CACHE[key] = result
+    return result

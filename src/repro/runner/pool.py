@@ -1,0 +1,124 @@
+"""Sweep execution: fan :class:`TaskSpec` cells out over processes.
+
+``SweepRunner.map`` preserves three invariants the harnesses rely on:
+
+* **Order** — results come back in spec order, whatever order workers
+  finish in, so report tables are identical at any ``jobs``.
+* **Determinism** — cells are pure functions of their spec (every RNG
+  is seeded from spec arguments), so a parallel run is bit-identical
+  to a serial one; there is no shared mutable state to race on.
+* **Memoization** — with a cache attached, completed cells are looked
+  up by ``(task digest, code fingerprint)`` before any process is
+  spawned and stored (from the parent, atomically) after execution;
+  a repeat sweep is pure cache replay.
+
+``jobs=1`` executes in-process with no executor, keeping single-cell
+debugging (pdb, print, profilers) trivial.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.spec import TaskSpec
+
+
+def _execute(spec: TaskSpec) -> Any:
+    """Worker entry point (module-level, hence picklable)."""
+    return spec.run()
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: all cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+@dataclass
+class SweepStats:
+    """Counters for the most recent :meth:`SweepRunner.map` call."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+
+@dataclass
+class SweepRunner:
+    """Executes task specs serially or across a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (the default) runs in-process.
+    cache:
+        A :class:`ResultCache`, or None to recompute everything.
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+
+    def map(self, specs: Sequence[TaskSpec]) -> List[Any]:
+        """Run every spec, returning results in spec order."""
+        started = time.perf_counter()
+        specs = list(specs)
+        results: List[Any] = [None] * len(specs)
+        pending: List[int] = []
+        hits = 0
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                hit, value = self.cache.lookup(spec)
+                if hit:
+                    results[index] = value
+                    hits += 1
+                    continue
+            pending.append(index)
+
+        if pending:
+            workers = min(self.jobs, len(pending))
+            if workers <= 1:
+                for index in pending:
+                    results[index] = specs[index].run()
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for index, value in zip(
+                        pending, pool.map(_execute, [specs[i] for i in pending])
+                    ):
+                        results[index] = value
+            if self.cache is not None:
+                for index in pending:
+                    self.cache.store(specs[index], results[index])
+
+        self.stats = SweepStats(
+            total=len(specs),
+            cache_hits=hits,
+            executed=len(pending),
+            jobs=self.jobs,
+            wall_seconds=time.perf_counter() - started,
+        )
+        return results
+
+
+def run_tasks(
+    specs: Sequence[TaskSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[Any]:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(jobs=jobs, cache=cache).map(specs)

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import CallbackError, ReproError, SchedulingError, SimulationError
 
@@ -94,6 +94,9 @@ class Event:
             self._sim._pending -= 1
 
     def __lt__(self, other: "Event") -> bool:
+        # Kept for user-code sorting convenience; the engine's heap
+        # orders (time, serial, event) key tuples instead, so this is
+        # no longer on the hot path.
         return (self.time, self.serial) < (other.time, other.serial)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -112,7 +115,11 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        # Heap entries are (time, serial, event): comparisons during
+        # sift run entirely in C on the leading floats/ints and only
+        # ever reach the first two slots (serials are unique), so
+        # Event.__lt__ and its tuple allocations stay off the hot loop.
+        self._heap: List[Tuple[float, int, Event]] = []
         self._serial = itertools.count()
         self._running = False
         self._events_processed = 0
@@ -169,8 +176,9 @@ class Simulator:
                 delay = 0.0
             else:
                 raise SchedulingError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._serial), fn, args, sim=self)
-        heapq.heappush(self._heap, event)
+        serial = next(self._serial)
+        event = Event(self._now + delay, serial, fn, args, sim=self)
+        heapq.heappush(self._heap, (event.time, serial, event))
         self._pending += 1
         return event
 
@@ -181,10 +189,10 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0]._cancelled:
+        while self._heap and self._heap[0][2]._cancelled:
             heapq.heappop(self._heap)
 
     def step(self) -> bool:
@@ -199,7 +207,7 @@ class Simulator:
         self._drop_cancelled()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[2]
         if event.time < self._now:  # pragma: no cover - defensive
             raise SimulationError(
                 f"event time {event.time} precedes clock {self._now}"
@@ -256,7 +264,7 @@ class Simulator:
                 self._drop_cancelled()
                 if not self._heap:
                     break
-                if until is not None and self._heap[0].time > until:
+                if until is not None and self._heap[0][0] > until:
                     break
                 self.step()
                 fired += 1
@@ -264,12 +272,12 @@ class Simulator:
             self._running = False
         if until is not None and until > self._now:
             self._drop_cancelled()
-            if not (interrupted and self._heap and self._heap[0].time <= until):
+            if not (interrupted and self._heap and self._heap[0][0] <= until):
                 self._now = until
         return fired
 
     def clear(self) -> None:
         """Drop all pending events (they are marked cancelled)."""
-        for event in self._heap:
+        for _, _, event in self._heap:
             event.cancel()
         self._heap.clear()

@@ -43,36 +43,75 @@ class TraceBus:
 
     Subscriptions are exact-category; subscribing to ``"*"`` receives
     everything.
+
+    Delivery is driven by a per-category *merged* subscriber list
+    (exact + wildcard, materialized lazily and invalidated on
+    subscribe/unsubscribe), so the per-emit cost is a single dict
+    lookup whether or not anyone is listening — emits happen millions
+    of times per run, subscription changes a handful.
     """
 
     WILDCARD = "*"
 
     def __init__(self) -> None:
         self._subscribers: DefaultDict[str, List[Subscriber]] = defaultdict(list)
+        # category -> snapshot of exact + wildcard subscribers.  An
+        # empty snapshot is cached too: that is what keeps the
+        # nobody-listening emit at one lookup.
+        self._merged: Dict[str, List[Subscriber]] = {}
+
+    def _invalidate(self, category: str) -> None:
+        if category == self.WILDCARD:
+            self._merged.clear()
+        else:
+            self._merged.pop(category, None)
+
+    def _merge(self, category: str) -> List[Subscriber]:
+        merged = list(self._subscribers.get(category, ()))
+        if category != self.WILDCARD:
+            merged.extend(self._subscribers.get(self.WILDCARD, ()))
+        self._merged[category] = merged
+        return merged
 
     def subscribe(self, category: str, fn: Subscriber) -> None:
         """Register ``fn`` for records of ``category`` (or ``"*"``)."""
         self._subscribers[category].append(fn)
+        self._invalidate(category)
 
     def unsubscribe(self, category: str, fn: Subscriber) -> None:
         """Remove a subscription added with :meth:`subscribe`."""
-        self._subscribers[category].remove(fn)
+        subscribers = self._subscribers[category]
+        subscribers.remove(fn)
+        if not subscribers:
+            # Prune the empty list: a leftover [] would make the
+            # defaultdict read as "has subscribers" forever.
+            del self._subscribers[category]
+        self._invalidate(category)
 
     def has_subscribers(self, category: str) -> bool:
-        return bool(self._subscribers.get(category) or self._subscribers.get(self.WILDCARD))
+        merged = self._merged.get(category)
+        if merged is None:
+            merged = self._merge(category)
+        return bool(merged)
 
     def publish(self, record: TraceRecord) -> None:
         """Deliver ``record`` to exact-category and wildcard subscribers."""
-        for fn in self._subscribers.get(record.category, ()):
-            fn(record)
-        for fn in self._subscribers.get(self.WILDCARD, ()):
+        merged = self._merged.get(record.category)
+        if merged is None:
+            merged = self._merge(record.category)
+        for fn in merged:
             fn(record)
 
     def emit(self, time: float, category: str, source: str, **fields: Any) -> None:
         """Convenience constructor + publish, skipping record creation
         entirely when nobody is listening."""
-        if self.has_subscribers(category):
-            self.publish(TraceRecord(time=time, category=category, source=source, fields=fields))
+        merged = self._merged.get(category)
+        if merged is None:
+            merged = self._merge(category)
+        if merged:
+            record = TraceRecord(time=time, category=category, source=source, fields=fields)
+            for fn in merged:
+                fn(record)
 
 
 class TraceTail:

@@ -1,0 +1,85 @@
+"""Unit tests for TaskSpec canonicalization, digests and resolution."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.errors import ConfigurationError
+from repro.experiments.figure5 import Figure5Config
+from repro.runner import TaskSpec, canonicalize, resolve
+
+
+class TestCanonicalize:
+    def test_primitives_pass_through(self):
+        assert canonicalize(3) == 3
+        assert canonicalize(0.25) == 0.25
+        assert canonicalize("x") == "x"
+        assert canonicalize(None) is None
+        assert canonicalize(True) is True
+
+    def test_sequences_normalize_to_lists(self):
+        assert canonicalize((1, 2)) == canonicalize([1, 2])
+
+    def test_dataclass_is_tagged_and_field_addressed(self):
+        out = canonicalize(TcpConfig())
+        assert out["__dataclass__"].endswith("TcpConfig")
+        assert "mss_bytes" in out["fields"]
+
+    def test_dict_keys_sorted(self):
+        assert list(canonicalize({"b": 1, "a": 2})) == ["a", "b"]
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonicalize(lambda: None)
+
+
+class TestDigest:
+    def test_stable_across_instances(self):
+        a = TaskSpec(fn="m:f", args=(1, Figure5Config()))
+        b = TaskSpec(fn="m:f", args=(1, Figure5Config()))
+        assert a.digest() == b.digest()
+
+    def test_label_excluded(self):
+        a = TaskSpec(fn="m:f", args=(1,), label="x")
+        b = TaskSpec(fn="m:f", args=(1,), label="y")
+        assert a.digest() == b.digest()
+
+    def test_argument_change_changes_digest(self):
+        a = TaskSpec(fn="m:f", args=(1,))
+        b = TaskSpec(fn="m:f", args=(2,))
+        assert a.digest() != b.digest()
+
+    def test_config_field_change_changes_digest(self):
+        changed = Figure5Config()
+        changed.transfer_packets += 1
+        a = TaskSpec(fn="m:f", args=(Figure5Config(),))
+        b = TaskSpec(fn="m:f", args=(changed,))
+        assert a.digest() != b.digest()
+
+    def test_fn_change_changes_digest(self):
+        assert TaskSpec(fn="m:f").digest() != TaskSpec(fn="m:g").digest()
+
+
+class TestResolveAndRun:
+    def test_resolve_module_attr(self):
+        import math
+
+        assert resolve("math:hypot") is math.hypot
+
+    def test_resolve_dotted_attr(self):
+        from repro.faults.campaign import CampaignRunner
+
+        assert resolve("repro.faults.campaign:CampaignRunner.plan_for") is (
+            CampaignRunner.plan_for
+        )
+
+    def test_run_invokes_with_args_and_kwargs(self):
+        spec = TaskSpec(
+            fn="repro.models.mathis:mathis_window", args=(0.01,)
+        )
+        from repro.models.mathis import mathis_window
+
+        assert spec.run() == mathis_window(0.01)
+
+    def test_malformed_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve("no.colon.here")

@@ -76,3 +76,75 @@ class TestEmit:
         except AttributeError:
             mutated = False
         assert not mutated
+
+
+class TestSubscriberPruning:
+    """Regression: unsubscribe used to leave an empty list behind,
+    making ``has_subscribers`` (and the merged-list cache) report stale
+    truthiness forever after."""
+
+    def test_unsubscribe_prunes_empty_category(self):
+        bus = TraceBus()
+        fn = lambda r: None  # noqa: E731
+        bus.subscribe("x", fn)
+        bus.unsubscribe("x", fn)
+        assert not bus.has_subscribers("x")
+        assert "x" not in bus._subscribers
+
+    def test_unsubscribe_keeps_remaining_subscribers(self):
+        bus = TraceBus()
+        seen = []
+        gone = lambda r: None  # noqa: E731
+        bus.subscribe("x", gone)
+        bus.subscribe("x", seen.append)
+        bus.unsubscribe("x", gone)
+        assert bus.has_subscribers("x")
+        bus.publish(make_record("x"))
+        assert len(seen) == 1
+
+    def test_wildcard_unsubscribe_prunes(self):
+        bus = TraceBus()
+        fn = lambda r: None  # noqa: E731
+        bus.subscribe("*", fn)
+        bus.unsubscribe("*", fn)
+        assert not bus.has_subscribers("anything")
+
+
+class TestMergedListCache:
+    """The per-category merged (exact + wildcard) snapshot must be
+    invalidated by every subscription change that affects it."""
+
+    def test_subscribe_after_silent_emit_is_seen(self):
+        bus = TraceBus()
+        bus.emit(1.0, "x", "src", v=1)  # caches the empty merged list
+        seen = []
+        bus.subscribe("x", seen.append)
+        bus.emit(2.0, "x", "src", v=2)
+        assert [r.fields["v"] for r in seen] == [2]
+
+    def test_wildcard_subscribe_invalidates_all_categories(self):
+        bus = TraceBus()
+        bus.emit(1.0, "x", "src")  # cache "x" with no listeners
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.emit(2.0, "x", "src")
+        assert len(seen) == 1
+
+    def test_unsubscribe_stops_delivery_through_cache(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe("x", seen.append)
+        bus.emit(1.0, "x", "src")  # caches merged list with subscriber
+        bus.unsubscribe("x", seen.append)
+        bus.emit(2.0, "x", "src")
+        assert len(seen) == 1
+
+    def test_exact_and_wildcard_merge_once_each(self):
+        bus = TraceBus()
+        exact, everything = [], []
+        bus.subscribe("x", exact.append)
+        bus.subscribe("*", everything.append)
+        bus.emit(1.0, "x", "src")
+        bus.emit(2.0, "y", "src")
+        assert len(exact) == 1
+        assert len(everything) == 2
