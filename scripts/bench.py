@@ -39,7 +39,12 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from workloads import MICRO_WORKLOADS  # noqa: E402
 
 from repro.experiments.figure5 import Figure5Config, run_figure5  # noqa: E402
-from repro.runner import ResultCache, SweepRunner, default_jobs  # noqa: E402
+from repro.runner import (  # noqa: E402
+    ResultCache,
+    SnapshotStore,
+    SweepRunner,
+    default_jobs,
+)
 
 ENGINE_BASELINE = "BENCH_engine.json"
 EXPERIMENTS_BASELINE = "BENCH_experiments.json"
@@ -105,6 +110,62 @@ def bench_experiments(quick: bool, jobs: int) -> dict:
     }
     for key, value in report.items():
         print(f"  {key:<18} {value}")
+    return report
+
+
+def bench_warmstart(quick: bool) -> dict:
+    """Warm-start speedup: fork one captured pre-loss prefix per variant
+    instead of re-running slow start from t=0 in every cell.
+
+    Uses a late-loss grid (the first engineered drop at packet 400 of a
+    600-packet transfer, six drop counts per variant) so the shared
+    warm-up prefix dominates each cell and each captured prefix is
+    forked many times — the regime warm starting exists for.  Cold and
+    warm rows are bit-identical (asserted), so the speedup is free of
+    accuracy cost.
+    """
+    config = Figure5Config(
+        drop_counts=(1, 2, 3, 4, 5, 6),
+        first_drop_seq=400,
+        transfer_packets=600,
+        sim_duration=60.0,
+    )
+    if quick:
+        config.variants = ("newreno", "rr")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-snap-") as tmp:
+        store = SnapshotStore(tmp)
+        start = time.perf_counter()
+        cold = run_figure5(config, runner=SweepRunner())
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_figure5(
+            config, runner=SweepRunner(), warm_start=True, store=store
+        )
+        first_warm_seconds = time.perf_counter() - start
+        # Second warm sweep replays the already-captured snapshots —
+        # the steady state of iterating on a sweep's post-loss cells.
+        start = time.perf_counter()
+        run_figure5(config, runner=SweepRunner(), warm_start=True, store=store)
+        replay_warm_seconds = time.perf_counter() - start
+    if warm.rows != cold.rows:
+        raise AssertionError("warm-start rows diverged from cold rows")
+    cells = len(config.drop_counts) * len(config.variants)
+    report = {
+        "campaign": "figure5-late-loss" + ("-quick" if quick else ""),
+        "cells": cells,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(first_warm_seconds, 3),
+        "warm_replay_seconds": round(replay_warm_seconds, 3),
+        "warm_speedup": (
+            round(cold_seconds / first_warm_seconds, 2) if first_warm_seconds else None
+        ),
+        "warm_replay_speedup": (
+            round(cold_seconds / replay_warm_seconds, 2) if replay_warm_seconds else None
+        ),
+        "bit_identical": True,
+    }
+    for key, value in report.items():
+        print(f"  {key:<22} {value}")
     return report
 
 
@@ -185,8 +246,11 @@ def main(argv=None) -> int:
 
     print("experiment macro campaign:")
     campaign = bench_experiments(args.quick, jobs)
+    print("warm-start (snapshot fork) campaign:")
+    warmstart = bench_warmstart(args.quick)
     (out_dir / EXPERIMENTS_BASELINE).write_text(
-        json.dumps({**meta, "campaign": campaign}, indent=2) + "\n"
+        json.dumps({**meta, "campaign": campaign, "warmstart": warmstart}, indent=2)
+        + "\n"
     )
     print(f"wrote {out_dir / ENGINE_BASELINE} and {out_dir / EXPERIMENTS_BASELINE}")
 

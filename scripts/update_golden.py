@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate tests/golden/state_digests.json.
+
+Run this ONLY after an intentional behavior change to a TCP variant,
+the engine, or the digest encoding — the whole point of the golden
+layer is that the file does not change by accident.  Review the diff:
+a change to one variant's digests should touch only that variant's
+block; a change to every block means the engine or the digest framing
+moved.
+
+Usage: PYTHONPATH=src python scripts/update_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.snapshot import DIGEST_VERSION, all_golden_digests  # noqa: E402
+from repro.snapshot.golden import CHECKPOINT_TIMES  # noqa: E402
+
+
+def main() -> int:
+    target = REPO / "tests" / "golden" / "state_digests.json"
+    payload = {
+        "_comment": "Canonical state digests of the golden scenarios "
+        "(repro.snapshot.golden). Regenerate ONLY after intentional "
+        "behavior changes: PYTHONPATH=src python scripts/update_golden.py",
+        "digest_version": DIGEST_VERSION,
+        "checkpoint_times": list(CHECKPOINT_TIMES),
+        "digests": all_golden_digests(),
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target}")
+    for variant, digests in payload["digests"].items():
+        for checkpoint, digest in digests.items():
+            print(f"  {variant:<8} {checkpoint:<8} {digest[:16]}…")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

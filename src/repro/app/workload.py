@@ -26,6 +26,26 @@ from repro.tcp.base import TcpSender
 from repro.tcp.factory import make_connection
 
 
+class _TransferCompletion:
+    """Completion hook for one generated transfer.
+
+    A named callable (not a closure) so a world mid-workload stays
+    picklable: closures appended to ``completion_callbacks`` would make
+    :mod:`repro.snapshot` refuse the whole scenario.
+    """
+
+    __slots__ = ("record", "sender")
+
+    def __init__(self, record: "TransferRecord", sender: TcpSender):
+        self.record = record
+        self.sender = sender
+
+    def __call__(self, t: float) -> None:
+        self.record.complete_time = t
+        self.record.timeouts = self.sender.timeouts
+        self.record.retransmits = self.sender.retransmits
+
+
 @dataclass
 class TransferRecord:
     """Outcome of one generated transfer."""
@@ -142,12 +162,7 @@ class PoissonTransfers:
         )
         self.senders[flow_id] = sender
 
-        def on_complete(t: float, record=record, sender=sender) -> None:
-            record.complete_time = t
-            record.timeouts = sender.timeouts
-            record.retransmits = sender.retransmits
-
-        sender.completion_callbacks.append(on_complete)
+        sender.completion_callbacks.append(_TransferCompletion(record, sender))
         FtpSource(self.sim, sender, amount_packets=size, start_time=self.sim.now)
         self._schedule_next(self.sim.now)
 

@@ -74,3 +74,13 @@ class TopologyError(ReproError):
 
 class ProtocolError(ReproError):
     """A TCP state-machine invariant was violated (indicates a bug)."""
+
+
+class SnapshotError(ReproError):
+    """A simulation checkpoint could not be captured or restored.
+
+    Raised by :mod:`repro.snapshot` — e.g. capturing while the engine
+    is inside :meth:`~repro.sim.engine.Simulator.run`, loading a file
+    with a mismatched format version, or a payload whose recomputed
+    state digest disagrees with the recorded one.
+    """

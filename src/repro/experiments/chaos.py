@@ -20,7 +20,9 @@ fault load; the chaos table lets you check that shape directly.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import TcpConfig
@@ -139,6 +141,19 @@ class ChaosResult:
         return all(r.survived for r in self.runs)
 
 
+class _StopOnComplete:
+    """Completion hook that halts the engine — a named callable instead
+    of a lambda so a chaos world stays snapshot-safe (picklable)."""
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def __call__(self, _t: float) -> None:
+        self.sim.request_stop("transfer complete")
+
+
 def _run_one(
     variant: str,
     config: ChaosConfig,
@@ -170,7 +185,7 @@ def _run_one(
         plan.install(FaultContext.from_scenario(scenario))
 
     sender = scenario.senders[1]
-    sender.completion_callbacks.append(lambda _t: sim.request_stop("transfer complete"))
+    sender.completion_callbacks.append(_StopOnComplete(sim))
 
     run = ChaosRun(
         variant=variant,
@@ -194,7 +209,32 @@ def _run_one(
     run.finish_time = sender.complete_time
     run.crash = watchdog.report
     run.records_checked = suite.records_seen
+    if run.crash is not None or run.violation is not None:
+        _dump_failure_artifact(run)
     return run
+
+
+def _dump_failure_artifact(run: ChaosRun) -> None:
+    """Append the crash report / violation (with trace tail) to
+    ``$REPRO_ARTIFACT_DIR/chaos-failures.txt`` so CI can upload it as a
+    workflow artifact.  A no-op when the env var is unset."""
+    artifact_dir = os.environ.get("REPRO_ARTIFACT_DIR")
+    if not artifact_dir:
+        return
+    lines = [f"=== chaos failure: {run.variant} seed {run.seed_index} ===", run.plan]
+    if run.violation is not None:
+        lines.append(f"invariant violation: {run.violation}")
+        lines.append(run.violation.format_tail())
+    if run.crash is not None:
+        lines.append(run.crash.format())
+    lines.append("")
+    try:
+        path = Path(artifact_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        with open(path / "chaos-failures.txt", "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    except OSError:  # pragma: no cover - artifact capture must not mask the run
+        pass
 
 
 def run_cell(variant: str, config: ChaosConfig, seed_index: int = -1) -> ChaosRun:

@@ -137,8 +137,34 @@ EXPERIMENTS = {
     "chaos": _run_chaos,
 }
 
+#: One-line descriptions for ``--list``.
+DESCRIPTIONS = {
+    "fig5": "effective throughput during 3/6-drop recovery (drop-tail)",
+    "fig6": "cwnd trajectories through a bursty-loss episode",
+    "fig7": "goodput vs. uniform random loss rate at gateway R1",
+    "table5": "multi-flow fairness/throughput shares on the dumbbell",
+    "ackloss": "RR's linear degradation under reverse-path ACK loss (§2.3)",
+    "ablation": "RR mechanism knock-outs (actnum/ndup/exit-point variants)",
+    "vegas": "Vegas-decomposition extension study",
+    "burst": "Gilbert-Elliott burst-channel extension study",
+    "chaos": "fault-injection campaigns with invariants + watchdog",
+}
+
 #: Long-form spellings accepted on the command line.
 ALIASES = {"figure5": "fig5", "figure6": "fig6", "figure7": "fig7"}
+
+
+def format_listing() -> str:
+    """The ``--list`` output: every experiment id + description."""
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = ["available experiments (python -m repro.experiments <id>):"]
+    for name in sorted(EXPERIMENTS):
+        lines.append(f"  {name:<{width}}  {DESCRIPTIONS[name]}")
+    alias_bits = ", ".join(f"{a}={t}" for a, t in sorted(ALIASES.items()))
+    lines.append(f"  {'all':<{width}}  run every experiment above")
+    lines.append(f"aliases: {alias_bits}")
+    lines.append("snapshot tools: python -m repro.experiments snapshot --help")
+    return "\n".join(lines)
 
 
 def build_runner(jobs: int = 1, cache: bool = True) -> SweepRunner:
@@ -146,7 +172,95 @@ def build_runner(jobs: int = 1, cache: bool = True) -> SweepRunner:
     return SweepRunner(jobs=jobs, cache=ResultCache() if cache else None)
 
 
+def snapshot_cli(argv: List[str]) -> int:
+    """``python -m repro.experiments snapshot <verb> ...``.
+
+    ``capture`` runs a variant's golden scenario to ``--checkpoint-at T``
+    and writes the frozen world to ``--out``; ``inspect`` prints a
+    snapshot file's header without loading the payload; ``run`` resumes
+    a snapshot (``--from-snapshot``) and simulates to ``--until`` (or
+    until the event queue drains).
+    """
+    from repro.snapshot import Snapshot, build_golden_scenario
+    from repro.tcp.factory import VARIANTS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments snapshot",
+        description="Checkpoint, inspect and resume frozen simulations"
+        " (see docs/SNAPSHOT.md).",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    cap = sub.add_parser(
+        "capture",
+        help="run a variant's golden scenario to T and freeze it",
+    )
+    cap.add_argument("variant", choices=sorted(VARIANTS))
+    cap.add_argument(
+        "--checkpoint-at",
+        type=float,
+        required=True,
+        metavar="T",
+        help="simulation time (seconds) to capture at",
+    )
+    cap.add_argument("--out", required=True, metavar="PATH")
+    insp = sub.add_parser("inspect", help="print a snapshot file's header")
+    insp.add_argument("path", metavar="PATH")
+    runp = sub.add_parser("run", help="resume a snapshot and simulate onward")
+    runp.add_argument("--from-snapshot", required=True, metavar="PATH")
+    runp.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="T",
+        help="absolute simulation time to stop at (default: drain the queue)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.verb == "capture":
+        scenario = build_golden_scenario(args.variant)
+        scenario.sim.run(until=args.checkpoint_at)
+        snapshot = Snapshot.capture(
+            scenario, label=f"golden {args.variant} @ t={args.checkpoint_at:g}"
+        )
+        path = snapshot.save(args.out)
+        print(
+            f"captured {args.variant} at t={snapshot.sim_time:g} -> {path}\n"
+            f"  digest {snapshot.digest}\n"
+            f"  {snapshot.nbytes} bytes, "
+            f"{snapshot.info.events_processed} events processed"
+        )
+        return 0
+    if args.verb == "inspect":
+        info = Snapshot.read_info(args.path)
+        print(
+            f"{args.path}: format {info.format}, label {info.label!r}\n"
+            f"  t={info.sim_time:g}, {info.events_processed} events processed\n"
+            f"  digest {info.digest}"
+        )
+        return 0
+    # run
+    world = Snapshot.load(args.from_snapshot).restore()
+    fired = world.sim.run(until=args.until)
+    print(
+        f"resumed {args.from_snapshot}: fired {fired} events, "
+        f"now t={world.sim.now:g}"
+    )
+    senders = getattr(world, "senders", None)
+    if senders:
+        for flow_id, sender in sorted(senders.items()):
+            print(
+                f"  flow {flow_id} ({sender.variant}): una={sender.snd_una} "
+                f"cwnd={sender.cwnd:.2f} rtos={sender.timeouts} "
+                f"{'done' if sender.completed else 'open'}"
+            )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "snapshot":
+        return snapshot_cli(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of 'Robust TCP Congestion"
@@ -154,8 +268,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + sorted(ALIASES) + ["all"],
-        help="experiment id from DESIGN.md",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + sorted(ALIASES) + ["all", "snapshot"],
+        help="experiment id from DESIGN.md, or 'snapshot' for the"
+        " checkpoint tools",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list every experiment with a one-line description and exit",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps for a fast smoke run"
@@ -202,6 +323,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="chaos only: restrict to these TCP variants",
     )
     args = parser.parse_args(argv)
+    if args.list:
+        print(format_listing())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment id is required (or --list)")
     experiment = ALIASES.get(args.experiment, args.experiment)
     names = sorted(EXPERIMENTS) if experiment == "all" else [experiment]
     out_dir = Path(args.out) if args.out else None

@@ -30,7 +30,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import TcpConfig
-from repro.experiments.common import FlowSpec, PAPER_VARIANTS, build_dumbbell_scenario
+from repro.errors import SnapshotError
+from repro.experiments.common import (
+    FlowSpec,
+    PAPER_VARIANTS,
+    ScenarioResult,
+    build_dumbbell_scenario,
+)
 from repro.metrics.throughput import (
     goodput_bps,
     loss_recovery_span,
@@ -38,7 +44,8 @@ from repro.metrics.throughput import (
 )
 from repro.net.loss import DeterministicLoss
 from repro.net.topology import DumbbellParams
-from repro.runner import SweepRunner, TaskSpec
+from repro.runner import SnapshotStore, SweepRunner, TaskSpec
+from repro.snapshot import Snapshot
 from repro.viz.ascii import format_table
 
 
@@ -81,20 +88,31 @@ class Figure5Result:
         raise KeyError((variant, drops))
 
 
-def run_single(variant: str, n_drops: int, config: Figure5Config) -> Figure5Row:
-    """Run one (variant, drop-count) cell of Figure 5."""
-    drops = [(1, config.first_drop_seq + i) for i in range(n_drops)]
-    loss = DeterministicLoss(drops)
-    tcp_config = TcpConfig(
+def _tcp_config(config: Figure5Config) -> TcpConfig:
+    return TcpConfig(
         receiver_window=64, initial_ssthresh=float(config.pre_loss_window)
     )
-    scenario = build_dumbbell_scenario(
+
+
+def _build(
+    variant: str, loss: DeterministicLoss, config: Figure5Config
+) -> ScenarioResult:
+    """The Figure-5 world for one cell, not yet run."""
+    return build_dumbbell_scenario(
         flows=[FlowSpec(variant=variant, amount_packets=config.transfer_packets)],
         params=DumbbellParams(n_pairs=1, buffer_packets=config.buffer_packets),
-        default_config=tcp_config,
+        default_config=_tcp_config(config),
         forward_loss=loss,
     )
+
+
+def _finish(
+    scenario: ScenarioResult, variant: str, n_drops: int, config: Figure5Config
+) -> Figure5Row:
+    """Run the remainder of a (possibly warm-started) cell and reduce it
+    to a result row."""
     scenario.sim.run(until=config.sim_duration)
+    tcp_config = _tcp_config(config)
     sender, stats = scenario.flow(1)
     span = loss_recovery_span(stats)
     recovery_bps = loss_recovery_throughput(stats, tcp_config.mss_bytes)
@@ -119,22 +137,114 @@ def run_single(variant: str, n_drops: int, config: Figure5Config) -> Figure5Row:
     )
 
 
+def _cell_drops(n_drops: int, config: Figure5Config) -> List[tuple]:
+    return [(1, config.first_drop_seq + i) for i in range(n_drops)]
+
+
+def run_single(variant: str, n_drops: int, config: Figure5Config) -> Figure5Row:
+    """Run one (variant, drop-count) cell of Figure 5 from t=0."""
+    loss = DeterministicLoss(_cell_drops(n_drops, config))
+    return _finish(_build(variant, loss, config), variant, n_drops, config)
+
+
+#: Safety margin (packets) the warm-up capture keeps below the first
+#: engineered drop.  Must exceed the per-step window growth so the
+#: stepping loop cannot overshoot the loss point within one check.
+WARM_MARGIN_PACKETS = 20
+
+#: Step size (seconds) of the warm-up capture loop.
+WARM_STEP_SECONDS = 0.02
+
+
+def capture_warm_snapshot(variant: str, config: Figure5Config) -> Snapshot:
+    """Run the shared pre-loss prefix of a Figure-5 cell and freeze it.
+
+    The world is built with an *empty* drop list — identical on the wire
+    to any cell's world before its first engineered drop — and stepped
+    until the sender's highest transmitted sequence approaches (but has
+    provably not reached) ``first_drop_seq``.  Each sweep cell forks
+    this one frozen world and reprograms the loss module with its own
+    drops.
+    """
+    scenario = _build(variant, DeterministicLoss([]), config)
+    sender = scenario.senders[1]
+    target = config.first_drop_seq - WARM_MARGIN_PACKETS
+    while sender.maxseq < target and scenario.sim.now < config.sim_duration:
+        scenario.sim.run(until=scenario.sim.now + WARM_STEP_SECONDS)
+    if sender.maxseq >= config.first_drop_seq:
+        raise SnapshotError(
+            f"warm-up overran the loss point: maxseq={sender.maxseq} >= "
+            f"first_drop_seq={config.first_drop_seq} (margin too small for "
+            "this bandwidth/window configuration)"
+        )
+    return Snapshot.capture(scenario, label=f"fig5 warm prefix {variant}")
+
+
+def run_single_from_snapshot(
+    digest: str,
+    variant: str,
+    n_drops: int,
+    config: Figure5Config,
+    store_root: Optional[str] = None,
+) -> Figure5Row:
+    """Run one cell warm-started from a stored pre-loss snapshot.
+
+    ``digest`` keys the frozen world in the :class:`SnapshotStore`
+    (default store unless ``store_root`` is given); the cell's cache
+    identity therefore changes automatically whenever the warm-up
+    prefix it continues from changes.
+    """
+    snapshot = SnapshotStore(store_root).get(digest)
+    # verify=False: the store is content-addressed (the key IS the state
+    # digest recorded at capture), and re-hashing the world per cell
+    # would cost a noticeable slice of the warm-start win; the fork
+    # tests assert the stronger end-to-end property (rows == cold rows).
+    scenario = snapshot.restore(verify=False)
+    scenario.dumbbell.forward_link.loss.reprogram(_cell_drops(n_drops, config))
+    return _finish(scenario, variant, n_drops, config)
+
+
 def run_figure5(
-    config: Optional[Figure5Config] = None, runner: Optional[SweepRunner] = None
+    config: Optional[Figure5Config] = None,
+    runner: Optional[SweepRunner] = None,
+    warm_start: bool = False,
+    store: Optional[SnapshotStore] = None,
 ) -> Figure5Result:
-    """Regenerate both panels of Figure 5."""
+    """Regenerate both panels of Figure 5.
+
+    With ``warm_start`` the pre-loss prefix is simulated once per
+    variant, captured, and every drop-count cell forks the frozen world
+    instead of re-running slow start from t=0 (bit-identical rows, see
+    tests/snapshot/test_fork.py).
+    """
     config = config or Figure5Config()
     runner = runner or SweepRunner()
     result = Figure5Result(config=config)
-    specs = [
-        TaskSpec(
-            fn="repro.experiments.figure5:run_single",
-            args=(variant, n_drops, config),
-            label=f"fig5 {variant}/{n_drops}-drop",
-        )
-        for n_drops in config.drop_counts
-        for variant in config.variants
-    ]
+    if warm_start:
+        store = store or SnapshotStore()
+        digests = {}
+        for variant in config.variants:
+            digests[variant] = store.put(capture_warm_snapshot(variant, config))
+        store_arg = str(store.root)
+        specs = [
+            TaskSpec(
+                fn="repro.experiments.figure5:run_single_from_snapshot",
+                args=(digests[variant], variant, n_drops, config, store_arg),
+                label=f"fig5 {variant}/{n_drops}-drop (warm)",
+            )
+            for n_drops in config.drop_counts
+            for variant in config.variants
+        ]
+    else:
+        specs = [
+            TaskSpec(
+                fn="repro.experiments.figure5:run_single",
+                args=(variant, n_drops, config),
+                label=f"fig5 {variant}/{n_drops}-drop",
+            )
+            for n_drops in config.drop_counts
+            for variant in config.variants
+        ]
     result.rows.extend(runner.map(specs))
     return result
 

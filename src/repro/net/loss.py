@@ -125,6 +125,16 @@ class DeterministicLoss(LossModule):
             return self._record()
         return False
 
+    def reprogram(self, drops: Iterable[Tuple[int, int]]) -> None:
+        """Replace the not-yet-executed drop set.
+
+        The warm-start fork path uses this: capture one warmed-up world
+        with an empty drop list, then reprogram each fork with the
+        cell's own drops.  Already-executed drops are untouched (they
+        happened on the wire of the captured prefix).
+        """
+        self._pending = set(drops)
+
 
 class AckLoss(LossModule):
     """Drop ACK packets, either at a random rate or by arrival index.

@@ -12,7 +12,6 @@ throughout the paper's evaluation (Section 3.1).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
@@ -22,7 +21,41 @@ ACK = "ack"
 DEFAULT_DATA_BYTES = 1000
 DEFAULT_ACK_BYTES = 40
 
-_uid_counter = itertools.count(1)
+
+class _UidSource:
+    """The module-global packet-uid sequence.
+
+    A named class (not ``itertools.count``) so the position can be read
+    and rewound: packet uids are process-global state outside any one
+    simulator, and :mod:`repro.snapshot` must capture and restore the
+    sequence alongside a world for restored runs to mint the same uids
+    an uninterrupted run would.
+    """
+
+    __slots__ = ("next_uid",)
+
+    def __init__(self, start: int = 1):
+        self.next_uid = start
+
+    def __call__(self) -> int:
+        uid = self.next_uid
+        self.next_uid += 1
+        return uid
+
+
+_uid_counter = _UidSource()
+
+
+def uid_state() -> int:
+    """The next uid the module will assign (snapshot capture hook)."""
+    return _uid_counter.next_uid
+
+
+def set_uid_state(next_uid: int) -> None:
+    """Rewind/advance the uid sequence (snapshot restore hook)."""
+    if next_uid < 1:
+        raise ValueError(f"packet uid state must be >= 1, got {next_uid}")
+    _uid_counter.next_uid = next_uid
 
 
 @dataclass(frozen=True)
@@ -95,7 +128,7 @@ class Packet:
     ecn_echo: bool = False
     is_retransmit: bool = False
     sent_at: float = 0.0
-    uid: int = field(default_factory=lambda: next(_uid_counter))
+    uid: int = field(default_factory=_uid_counter)
 
     @property
     def is_data(self) -> bool:
@@ -159,7 +192,7 @@ def clone_packet(packet: Packet) -> Packet:
     return replace(
         packet,
         sack_blocks=list(packet.sack_blocks),
-        uid=next(_uid_counter),
+        uid=_uid_counter(),
     )
 
 

@@ -12,11 +12,14 @@ from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.fingerprint import code_fingerprint, package_root
 from repro.runner.pool import SweepRunner, SweepStats, default_jobs, run_tasks
 from repro.runner.spec import TaskSpec, canonicalize, resolve
+from repro.runner.warmstart import SNAPSHOT_SUBDIR, SnapshotStore
 
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
+    "SNAPSHOT_SUBDIR",
+    "SnapshotStore",
     "SweepRunner",
     "SweepStats",
     "TaskSpec",

@@ -1,0 +1,84 @@
+"""Digest-keyed on-disk snapshot store for warm-started sweeps.
+
+Worlds cannot ride inside a :class:`~repro.runner.spec.TaskSpec` (specs
+carry only canonically-hashable primitives, by design), so a sweep that
+wants every cell to start from one warmed-up simulation shares it
+through this store instead: the coordinating process captures once and
+``put``s the snapshot, and each worker cell receives just the digest
+string in its spec and ``get``s the frozen world back.  The digest is
+content-derived (the canonical state digest of the captured world), so
+a cell's cache identity automatically changes when the warm-up prefix
+it continues from changes.
+
+Files live under ``<cache root>/snapshots/<digest>.snap`` — next to the
+result cache, governed by the same ``REPRO_CACHE_DIR`` override — and
+are written atomically (tmp + ``os.replace``) so concurrent sweeps
+never observe a torn snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import SnapshotError
+from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+from repro.snapshot import Snapshot, SnapshotInfo
+
+#: Subdirectory of the cache root that holds snapshots.
+SNAPSHOT_SUBDIR = "snapshots"
+
+
+class SnapshotStore:
+    """Content-addressed snapshot files shared across processes."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        if root is None:
+            cache_root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+            root = Path(cache_root) / SNAPSHOT_SUBDIR
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.snap"
+
+    def contains(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def put(self, snapshot: Snapshot) -> str:
+        """Persist ``snapshot``; returns its digest (the retrieval key).
+
+        Idempotent: an existing file for the same digest is left alone
+        (content-addressed, so it is byte-equivalent for all readers).
+        """
+        digest = snapshot.digest
+        path = self.path_for(digest)
+        if path.exists():
+            return digest
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        os.close(fd)
+        try:
+            snapshot.save(tmp_name)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return digest
+
+    def get(self, digest: str) -> Snapshot:
+        path = self.path_for(digest)
+        if not path.exists():
+            raise SnapshotError(
+                f"no snapshot {digest[:12]}… in {self.root} — the warm-up "
+                "capture must run (and put) before the sweep cells execute"
+            )
+        return Snapshot.load(path)
+
+    def info(self, digest: str) -> SnapshotInfo:
+        """Header metadata without reading the payload."""
+        return Snapshot.read_info(self.path_for(digest))

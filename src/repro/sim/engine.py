@@ -6,7 +6,16 @@ The engine is deliberately minimal and deterministic:
   scheduled (FIFO tie-break via a monotonically increasing serial number).
 * Events are cancellable; cancellation is O(1) (lazy deletion), and the
   pending-event count is maintained incrementally so callers can poll it
-  cheaply (watchdogs do, every tick).
+  cheaply (watchdogs do, every tick).  Lazily-deleted entries cannot
+  accumulate without bound: once cancelled entries outnumber live ones
+  (past a small floor) the heap is compacted in place, so cancel-heavy
+  workloads — a TCP timer restarted on every ACK — keep ``len(heap)``
+  proportional to the *live* event count.
+* The engine is checkpointable: ``__getstate__``/``__setstate__``
+  serialize the clock, serial counter and the *pending* events only
+  (cancelled entries are dropped, the heap is stored in sorted order),
+  so pickling a simulator mid-scenario and unpickling it elsewhere
+  continues bit-identically.  See :mod:`repro.snapshot`.
 * The engine never advances time backwards and refuses to schedule into
   the past, so component code can rely on causality.  Tiny negative
   delays produced by floating-point round-off (``schedule_at(now + x)``
@@ -42,6 +51,10 @@ from repro.errors import CallbackError, ReproError, SchedulingError, SimulationE
 #: Negative delays no larger than this are treated as floating-point
 #: round-off from repeated ``now + delay`` arithmetic and clamped to 0.
 NEGATIVE_DELAY_EPSILON = 1e-9
+
+#: Below this heap size, compaction is never triggered: rebuilding a
+#: tiny heap every few cancels would cost more than the lazy entries.
+HEAP_COMPACT_MIN = 64
 
 
 class Event:
@@ -91,7 +104,7 @@ class Event:
             return
         self._cancelled = True
         if self._sim is not None:
-            self._sim._pending -= 1
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         # Kept for user-code sorting convenience; the engine's heap
@@ -124,6 +137,7 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._pending = 0
+        self._cancelled_in_heap = 0
         self._stop_requested = False
         self._stop_reason: Optional[str] = None
 
@@ -191,9 +205,33 @@ class Simulator:
         self._drop_cancelled()
         return self._heap[0][0] if self._heap else None
 
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for a lazily-deleted heap entry (called by
+        :meth:`Event.cancel`): keep the pending count exact, and compact
+        the heap once cancelled entries outnumber live ones."""
+        self._pending -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > HEAP_COMPACT_MIN
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Filtering preserves relative order of the survivors well enough
+        for :func:`heapq.heapify` to restore the invariant; pop order is
+        unchanged because (time, serial) keys are unique.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0][2]._cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_in_heap -= 1
 
     def step(self) -> bool:
         """Fire the single next pending event.
@@ -278,6 +316,52 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (they are marked cancelled)."""
-        for _, _, event in self._heap:
+        # Detach the heap first: Event.cancel may trigger a compaction
+        # that would rebuild the list being iterated.
+        heap, self._heap = self._heap, []
+        self._cancelled_in_heap = 0
+        for _, _, event in heap:
             event.cancel()
-        self._heap.clear()
+        # The cancels above counted against the (empty) new heap; the
+        # entries they refer to are already gone.
+        self._cancelled_in_heap = 0
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (pickle protocol)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Canonical, restorable engine state.
+
+        Cancelled entries are dropped and the pending heap is stored
+        fully sorted, so two engines whose observable behavior is
+        identical pickle identically regardless of incidental heap
+        array layout (compaction history, pop order).  A sorted list is
+        itself a valid min-heap, so ``__setstate__`` can use it as-is.
+        """
+        if self._running:
+            raise SimulationError("cannot pickle a Simulator while it is running")
+        pending = sorted(
+            (entry for entry in self._heap if not entry[2]._cancelled),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        return {
+            "now": self._now,
+            "serial_next": self._serial.__reduce__()[1][0],
+            "heap": pending,
+            "events_processed": self._events_processed,
+            "stop_requested": self._stop_requested,
+            "stop_reason": self._stop_reason,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._now = state["now"]
+        self._heap = list(state["heap"])  # sorted => valid min-heap
+        self._serial = itertools.count(state["serial_next"])
+        self._running = False
+        self._events_processed = state["events_processed"]
+        self._pending = len(self._heap)
+        self._cancelled_in_heap = 0
+        self._stop_requested = state["stop_requested"]
+        self._stop_reason = state["stop_reason"]
+        # Unpickled events carry their own _sim reference via the heap
+        # entries; nothing else to rewire.

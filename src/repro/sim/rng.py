@@ -5,13 +5,24 @@ start times) takes its own :class:`RngStream`, derived from a root seed
 plus a component name.  This keeps runs reproducible *and* keeps
 components statistically independent: adding a new consumer of
 randomness does not perturb the draws other components see.
+
+Streams are *checkpointable*: :meth:`RngStream.getstate` captures the
+exact draw position and :meth:`RngStream.setstate` rewinds to it, so a
+failing draw sequence can be replayed without re-running the warm-up
+that produced it.  :mod:`repro.snapshot` relies on this round-trip for
+bit-identical continuation after a restore.
 """
 
 from __future__ import annotations
 
 import random
 import zlib
-from typing import Iterable, List
+from typing import Any, Iterable, List, Tuple
+
+#: Tag identifying the layout of :meth:`RngStream.getstate` tuples, so a
+#: state captured by a future incompatible version fails loudly instead
+#: of silently desynchronizing the stream.
+_STATE_TAG = "RngStream.v1"
 
 
 class RngStream:
@@ -32,6 +43,38 @@ class RngStream:
     def substream(self, name: str) -> "RngStream":
         """Derive a child stream, e.g. per flow or per queue."""
         return RngStream(self._root_seed, f"{self._name}/{name}")
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def getstate(self) -> Tuple[str, int, str, Any]:
+        """Capture the stream's exact position as a picklable tuple.
+
+        The tuple records the identity (root seed + name) alongside the
+        underlying generator state, so :meth:`setstate` can verify the
+        state is being restored onto the stream it came from.
+        """
+        return (_STATE_TAG, self._root_seed, self._name, self._rng.getstate())
+
+    def setstate(self, state: Tuple[str, int, str, Any]) -> None:
+        """Rewind the stream to a state captured by :meth:`getstate`.
+
+        Raises ``ValueError`` when the state tuple has an unknown layout
+        or belongs to a differently-identified stream — restoring a
+        mismatched state would silently decorrelate every later draw.
+        """
+        try:
+            tag, root_seed, name, rng_state = state
+        except (TypeError, ValueError):
+            raise ValueError(f"not an RngStream state: {state!r}") from None
+        if tag != _STATE_TAG:
+            raise ValueError(f"unknown RngStream state tag {tag!r}")
+        if (root_seed, name) != (self._root_seed, self._name):
+            raise ValueError(
+                f"state belongs to stream (seed={root_seed}, name={name!r}), "
+                f"not (seed={self._root_seed}, name={self._name!r})"
+            )
+        self._rng.setstate(rng_state)
 
     def uniform(self, lo: float = 0.0, hi: float = 1.0) -> float:
         return self._rng.uniform(lo, hi)

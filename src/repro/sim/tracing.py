@@ -113,6 +113,22 @@ class TraceBus:
             for fn in merged:
                 fn(record)
 
+    # ------------------------------------------------------------------
+    # checkpoint / restore (pickle protocol)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Subscriptions only — the merged cache is a lazily rebuilt
+        derived structure, so dropping it keeps the pickled form (and
+        the snapshot digest) independent of which categories happened
+        to be emitted before capture."""
+        return {"subscribers": {k: list(v) for k, v in self._subscribers.items()}}
+
+    def __setstate__(self, state) -> None:
+        self._subscribers = defaultdict(list)
+        for category, subscribers in state["subscribers"].items():
+            self._subscribers[category] = list(subscribers)
+        self._merged = {}
+
 
 class TraceTail:
     """A bounded ring buffer of the most recent trace records.

@@ -251,6 +251,20 @@ class Watchdog:
     # ------------------------------------------------------------------
     # abort
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # checkpoint / restore (pickle protocol)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Everything except the wall-clock baseline, which is only
+        meaningful inside the process that called :func:`time.monotonic`."""
+        state = {k: v for k, v in self.__dict__.items() if k != "_wall_start"}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Re-baseline: a restored run gets a fresh wall-clock budget.
+        self._wall_start = _time.monotonic()
+
     def _stalled_for(self, flow_id: int) -> float:
         last = self._progress.get(flow_id)
         return self._sim.now - last[1] if last else 0.0

@@ -1,0 +1,34 @@
+"""Deterministic checkpoint / restore / fork of live simulations.
+
+``Snapshot.capture(world)`` freezes a world between engine events;
+``restore()`` materializes an independent copy that continues
+bit-identically to the uninterrupted run; ``fork(n, mutate=...)``
+branches one warmed-up simulation into N divergent continuations.
+:func:`state_digest` is the canonical SHA-256 equality oracle behind
+both the restore integrity check and the golden-state regression layer
+(:mod:`repro.snapshot.golden`).  See docs/SNAPSHOT.md.
+"""
+
+from repro.snapshot.core import SNAPSHOT_FORMAT, Snapshot, SnapshotInfo
+from repro.snapshot.digest import DIGEST_VERSION, state_digest, state_fingerprints
+from repro.snapshot.golden import (
+    CHECKPOINT_TIMES,
+    GOLDEN_VARIANTS,
+    all_golden_digests,
+    build_golden_scenario,
+    golden_digests,
+)
+
+__all__ = [
+    "CHECKPOINT_TIMES",
+    "DIGEST_VERSION",
+    "GOLDEN_VARIANTS",
+    "SNAPSHOT_FORMAT",
+    "Snapshot",
+    "SnapshotInfo",
+    "all_golden_digests",
+    "build_golden_scenario",
+    "golden_digests",
+    "state_digest",
+    "state_fingerprints",
+]

@@ -1,0 +1,267 @@
+"""Capture / restore / fork of live simulation worlds.
+
+A :class:`Snapshot` freezes everything a continuation needs:
+
+* the pickled object graph reachable from the *world* (the simulator —
+  clock, serial counter, pending events — plus whatever the world
+  object references: network, TCP agents, apps, observers, RNG
+  streams);
+* the module-global packet-uid counter (:func:`repro.net.packet.
+  uid_state`), which lives outside any one world but feeds every
+  packet the continuation will mint;
+* a canonical state digest (:func:`repro.snapshot.digest.state_digest`)
+  recorded at capture time, re-checked on restore so a corrupted or
+  drifted payload fails loudly instead of silently diverging.
+
+The correctness contract is **bit-identical continuation**: for any
+world ``w`` at time T, ``Snapshot.capture(w).restore()`` run to the end
+produces the same trace, FlowStats series and final state digest as
+``w`` run to the end uninterrupted.  Capture itself never perturbs the
+world (it only reads).
+
+One sharp edge follows from the packet-uid counter being process
+global: *restoring rewinds it.*  After a restore, the original world
+object — if you kept it — would mint uids the continuation is also
+minting.  Treat restore as a fork point: run the original to wherever
+you need **before** restoring, or use :meth:`Snapshot.fork` which makes
+the pattern explicit.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SnapshotError
+from repro.net.packet import set_uid_state, uid_state
+from repro.sim.engine import Simulator
+from repro.snapshot.digest import state_digest
+
+#: On-disk format version (bump on incompatible layout changes).
+SNAPSHOT_FORMAT = 1
+
+_MAGIC = "repro-snapshot"
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Cheap-to-read metadata, stored as a JSON header line on disk."""
+
+    digest: str
+    sim_time: float
+    events_processed: int
+    label: str
+    format: int = SNAPSHOT_FORMAT
+
+
+class Snapshot:
+    """One frozen world.  Build with :meth:`capture` or :meth:`load`."""
+
+    def __init__(self, payload: bytes, info: SnapshotInfo):
+        self._payload = payload
+        self.info = info
+
+    # -- convenience accessors -----------------------------------------
+    @property
+    def digest(self) -> str:
+        return self.info.digest
+
+    @property
+    def sim_time(self) -> float:
+        return self.info.sim_time
+
+    @property
+    def nbytes(self) -> int:
+        return len(self._payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Snapshot(t={self.info.sim_time:.3f}, "
+            f"digest={self.info.digest[:12]}…, {self.nbytes} bytes)"
+        )
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, world: Any, label: str = "") -> "Snapshot":
+        """Freeze ``world`` (anything holding a ``sim`` attribute, or a
+        bare :class:`Simulator`).
+
+        Raises :class:`SnapshotError` when the engine is inside
+        :meth:`~repro.sim.engine.Simulator.run` (capture between
+        events, e.g. after ``run(until=T)`` returns) or when part of
+        the world is unpicklable (a closure in a scheduled event — use
+        named callables).
+        """
+        sim = cls._find_sim(world)
+        if sim._running:
+            raise SnapshotError(
+                "cannot capture while the engine is running; capture between "
+                "run() calls (e.g. after sim.run(until=T) returns)"
+            )
+        digest = state_digest(world)
+        try:
+            payload = pickle.dumps(
+                {"world": world, "uid_next": uid_state()},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:
+            raise SnapshotError(
+                f"world is not picklable: {type(exc).__name__}: {exc} "
+                "(closures in scheduled events or callbacks are the usual "
+                "culprit — use named callables)"
+            ) from exc
+        info = SnapshotInfo(
+            digest=digest,
+            sim_time=sim.now,
+            events_processed=sim.events_processed,
+            label=label,
+        )
+        return cls(payload, info)
+
+    @staticmethod
+    def _find_sim(world: Any) -> Simulator:
+        if isinstance(world, Simulator):
+            return world
+        sim = getattr(world, "sim", None)
+        if isinstance(sim, Simulator):
+            return sim
+        raise SnapshotError(
+            f"cannot locate a Simulator on {type(world).__name__!r}: pass the "
+            "simulator itself or an object exposing it as `.sim`"
+        )
+
+    # ------------------------------------------------------------------
+    # restore / fork
+    # ------------------------------------------------------------------
+    def restore(self, verify: bool = True) -> Any:
+        """Materialize an independent copy of the captured world.
+
+        Also rewinds the process-global packet-uid counter to its
+        captured position, so the continuation mints the same uids the
+        uninterrupted run would (see the module docstring for the
+        consequence: don't keep running the *original* world after a
+        restore).
+
+        With ``verify`` (the default) the restored world's state digest
+        is recomputed and checked against the captured one.
+        """
+        if self.info.format != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"snapshot format {self.info.format} is not supported "
+                f"(this build reads format {SNAPSHOT_FORMAT})"
+            )
+        try:
+            data = pickle.loads(self._payload)
+        except Exception as exc:
+            raise SnapshotError(f"snapshot payload does not unpickle: {exc}") from exc
+        world = data["world"]
+        if verify:
+            digest = state_digest(world)
+            if digest != self.info.digest:
+                raise SnapshotError(
+                    f"restored state digest {digest[:12]}… does not match "
+                    f"captured {self.info.digest[:12]}… — payload corrupted "
+                    "or digest encoding drifted"
+                )
+        set_uid_state(data["uid_next"])
+        return world
+
+    @property
+    def uid_next(self) -> int:
+        """The captured packet-uid position (what :meth:`restore` rewinds
+        to).  Exposed so in-process forks can re-rewind between runs."""
+        return pickle.loads(self._payload)["uid_next"]
+
+    def fork(
+        self,
+        n: int,
+        mutate: Optional[Callable[[Any, int], Any]] = None,
+        verify: bool = False,
+    ) -> List[Any]:
+        """Branch the frozen world into ``n`` independent continuations.
+
+        Each fork is a separate :meth:`restore`; ``mutate(world, i)``
+        (when given) edits fork ``i`` in place before it is returned —
+        reprogram a loss module, swap a fault plan, change a variant
+        knob.  Runs that must be bit-identical to each other should call
+        :func:`repro.net.packet.set_uid_state(snapshot.uid_next)
+        <repro.net.packet.set_uid_state>` before running each fork in
+        the same process (restore leaves the counter positioned for the
+        *last* fork restored; worker processes each restore exactly one
+        fork, so the fan-out path needs no such care).
+        """
+        if n < 1:
+            raise SnapshotError(f"fork count must be >= 1, got {n}")
+        worlds = []
+        for index in range(n):
+            world = self.restore(verify=verify)
+            if mutate is not None:
+                mutated = mutate(world, index)
+                if mutated is not None:
+                    world = mutated
+            worlds.append(world)
+        return worlds
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> Path:
+        """Write ``<JSON header line>\\n<pickle payload>`` to ``path``."""
+        path = Path(path)
+        header = {"magic": _MAGIC, **asdict(self.info)}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+            fh.write(b"\n")
+            fh.write(self._payload)
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Snapshot":
+        path = Path(path)
+        try:
+            with open(path, "rb") as fh:
+                header_line = fh.readline()
+                payload = fh.read()
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        info = cls._parse_header(path, header_line)
+        return cls(payload, info)
+
+    @staticmethod
+    def read_info(path) -> SnapshotInfo:
+        """Header metadata without loading the payload."""
+        path = Path(path)
+        try:
+            with open(path, "rb") as fh:
+                header_line = fh.readline()
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        return Snapshot._parse_header(path, header_line)
+
+    @staticmethod
+    def _parse_header(path: Path, header_line: bytes) -> SnapshotInfo:
+        try:
+            header = json.loads(header_line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SnapshotError(f"{path} is not a snapshot file") from exc
+        if header.get("magic") != _MAGIC:
+            raise SnapshotError(f"{path} is not a snapshot file (bad magic)")
+        fmt = header.get("format", -1)
+        if fmt != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"{path} has snapshot format {fmt}; this build reads "
+                f"format {SNAPSHOT_FORMAT}"
+            )
+        return SnapshotInfo(
+            digest=header["digest"],
+            sim_time=header["sim_time"],
+            events_processed=header["events_processed"],
+            label=header.get("label", ""),
+            format=fmt,
+        )

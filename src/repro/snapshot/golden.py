@@ -1,0 +1,75 @@
+"""Golden-state regression scenarios.
+
+One fixed scenario per TCP variant — the paper's Figure-5 world with a
+deterministic 3-drop burst — checkpointed at fixed simulation times
+that bracket the recovery episode: before the loss (slow-start), during
+recovery, and after the transfer settles back into congestion
+avoidance.  The canonical state digests at those instants are committed
+in ``tests/golden/state_digests.json``; any behavioral drift in a
+variant (a changed cwnd trajectory, a different retransmit order, an
+RR ``actnum`` bookkeeping tweak) flips a digest and fails the test
+with a per-section state diff, not just a throughput delta.
+
+Regenerate the committed file after an *intentional* behavior change
+with ``python scripts/update_golden.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.config import TcpConfig
+from repro.net.loss import DeterministicLoss
+from repro.net.packet import set_uid_state
+from repro.net.topology import DumbbellParams
+from repro.snapshot.digest import state_digest
+
+#: Every variant the factory knows, in canonical order.
+GOLDEN_VARIANTS: Tuple[str, ...] = ("tahoe", "reno", "newreno", "sack", "rr")
+
+#: Simulation times (seconds) the digests are taken at: slow-start,
+#: mid/late recovery, and post-recovery congestion avoidance.
+CHECKPOINT_TIMES: Tuple[float, ...] = (2.0, 6.0, 12.0)
+
+#: Scenario constants (a small Figure-5 cell: one flow, 3-drop burst).
+TRANSFER_PACKETS = 300
+FIRST_DROP_SEQ = 100
+N_DROPS = 3
+
+
+def build_golden_scenario(variant: str):
+    """The fixed world the golden digests are taken from (a
+    :class:`~repro.experiments.common.ScenarioResult`).
+
+    Resets the global packet-uid counter first, so the scenario is
+    reproducible regardless of what the calling process simulated
+    before.
+    """
+    # Imported lazily: repro.runner -> SnapshotStore -> repro.snapshot
+    # must not drag the experiment harnesses (which import repro.runner)
+    # into every runner import.
+    from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+
+    set_uid_state(1)
+    drops = [(1, FIRST_DROP_SEQ + i) for i in range(N_DROPS)]
+    return build_dumbbell_scenario(
+        flows=[FlowSpec(variant=variant, amount_packets=TRANSFER_PACKETS)],
+        params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+        forward_loss=DeterministicLoss(drops),
+    )
+
+
+def golden_digests(variant: str) -> Dict[str, str]:
+    """Run the golden scenario, digesting at each checkpoint time."""
+    scenario = build_golden_scenario(variant)
+    digests: Dict[str, str] = {}
+    for t in CHECKPOINT_TIMES:
+        scenario.sim.run(until=t)
+        digests[f"t={t:g}"] = state_digest(scenario)
+    return digests
+
+
+def all_golden_digests() -> Dict[str, Dict[str, str]]:
+    """``{variant: {checkpoint: digest}}`` for every golden variant."""
+    return {variant: golden_digests(variant) for variant in GOLDEN_VARIANTS}

@@ -125,3 +125,105 @@ class TestOnOffSource:
             OnOffSource(sim, sender, RngStream(1), mean_on_packets=0)
         with pytest.raises(ConfigurationError):
             OnOffSource(sim, sender, RngStream(1), mean_off_seconds=0.0)
+
+
+# Run in fresh interpreters by TestCrossProcessDeterminism: builds the
+# Poisson workload (or on/off source) with a fixed seed and prints a
+# transcript of everything observable.
+_DETERMINISM_SCRIPT = """
+import sys
+from repro.app.workload import OnOffSource, PoissonTransfers
+from repro.net.topology import Dumbbell, DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+from repro.tcp.factory import make_connection
+
+kind = sys.argv[1]
+sim = Simulator()
+bell = Dumbbell(sim, DumbbellParams(n_pairs=6, buffer_packets=50))
+if kind == "poisson":
+    workload = PoissonTransfers(
+        sim, bell, "rr", arrival_rate=4.0, size_packets=12,
+        max_transfers=5, rng=RngStream(33, "arrivals"),
+    )
+    sim.run(until=200.0)
+    for r in workload.records:
+        print(r.flow_id, repr(r.start_time), r.size_packets,
+              repr(r.complete_time), r.timeouts, r.retransmits)
+else:
+    sender, _ = make_connection(sim, "newreno", 1, bell.sender(1), bell.receiver(1))
+    source = OnOffSource(
+        sim, sender, RngStream(5, "onoff"),
+        mean_on_packets=20, mean_off_seconds=0.3,
+    )
+    sim.run(until=30.0)
+    print(source.bursts, sender.snd_una, repr(sim.now), sim.events_processed)
+"""
+
+
+class TestCrossProcessDeterminism:
+    """Same seed, two fresh interpreters -> byte-identical transcripts."""
+
+    def _transcript(self, kind):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(root)
+        # Different hash seeds per process: determinism must not lean
+        # on dict/set iteration luck.
+        env["PYTHONHASHSEED"] = {"poisson": "101", "onoff": "202"}[kind]
+        result = subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SCRIPT, kind],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        env["PYTHONHASHSEED"] = "999"
+        second = subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SCRIPT, kind],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return result.stdout, second.stdout
+
+    def test_poisson_transfers_identical_across_processes(self):
+        first, second = self._transcript("poisson")
+        assert first == second
+        assert len(first.splitlines()) == 5
+
+    def test_onoff_source_identical_across_processes(self):
+        first, second = self._transcript("onoff")
+        assert first == second
+
+
+class TestDegenerateOnOffPeriods:
+    def test_zero_mean_off_rejected(self):
+        sim, bell = make_world(n_pairs=1)
+        sender, _ = make_connection(sim, "newreno", 1, bell.sender(1), bell.receiver(1))
+        with pytest.raises(ConfigurationError):
+            OnOffSource(sim, sender, RngStream(1, "x"), mean_off_seconds=0.0)
+
+    def test_negative_mean_off_rejected(self):
+        sim, bell = make_world(n_pairs=1)
+        sender, _ = make_connection(sim, "newreno", 1, bell.sender(1), bell.receiver(1))
+        with pytest.raises(ConfigurationError):
+            OnOffSource(sim, sender, RngStream(1, "x"), mean_off_seconds=-1.0)
+
+    def test_zero_mean_on_rejected(self):
+        sim, bell = make_world(n_pairs=1)
+        sender, _ = make_connection(sim, "newreno", 1, bell.sender(1), bell.receiver(1))
+        with pytest.raises(ConfigurationError):
+            OnOffSource(sim, sender, RngStream(1, "x"), mean_on_packets=0)
+
+    def test_tiny_mean_on_still_sends_whole_bursts(self):
+        """Even when the exponential draw rounds to zero, every ON
+        period offers at least one packet (no silent empty bursts)."""
+        sim, bell = make_world(n_pairs=1)
+        sender, _ = make_connection(sim, "newreno", 1, bell.sender(1), bell.receiver(1))
+        source = OnOffSource(
+            sim, sender, RngStream(9, "tiny"),
+            mean_on_packets=1, mean_off_seconds=0.05,
+        )
+        sim.run(until=10.0)
+        assert source.bursts > 1
+        assert sender.snd_una >= source.bursts

@@ -40,3 +40,54 @@ class TestDispatch:
     def test_burst_quick_runs(self, capsys):
         assert main(["burst", "--quick"]) == 0
         assert "burst len" in capsys.readouterr().out
+
+
+class TestListing:
+    def test_list_enumerates_every_experiment(self, capsys):
+        from repro.experiments.cli import DESCRIPTIONS
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name, description in DESCRIPTIONS.items():
+            assert name in out
+            assert description in out
+        assert "all" in out
+
+    def test_every_experiment_has_a_description(self):
+        from repro.experiments.cli import DESCRIPTIONS
+
+        assert set(DESCRIPTIONS) == set(EXPERIMENTS)
+
+    def test_no_arguments_is_an_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code != 0
+
+
+class TestSnapshotSubcommand:
+    def test_capture_inspect_run_cycle(self, capsys, tmp_path):
+        path = tmp_path / "rr.snap"
+        assert main([
+            "snapshot", "capture", "rr", "--checkpoint-at", "2.0",
+            "--out", str(path),
+        ]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "captured rr at t=2" in out
+
+        assert main(["snapshot", "inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "format 1" in out
+        assert "t=2" in out
+
+        assert main([
+            "snapshot", "run", "--from-snapshot", str(path), "--until", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert "flow 1 (rr)" in out
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["snapshot", "explode"])
+        assert excinfo.value.code != 0

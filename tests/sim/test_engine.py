@@ -346,3 +346,102 @@ class TestCallbackHardening:
         context = excinfo.value.sim_context
         assert context["sim_time"] == 2.0
         assert context["events_processed"] == 1
+
+
+class TestHeapCompaction:
+    def test_cancel_heavy_workload_keeps_heap_bounded(self):
+        """A restarted-timer pattern (schedule far out, cancel, repeat)
+        must not accumulate lazily-deleted entries: the heap compacts
+        once cancelled entries outnumber live ones."""
+        sim = Simulator()
+        live = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        for i in range(5000):
+            sim.schedule(500.0 + i, lambda: None).cancel()
+        from repro.sim.engine import HEAP_COMPACT_MIN
+
+        assert len(sim._heap) <= 2 * max(sim.pending_events, HEAP_COMPACT_MIN)
+        assert sim.pending_events == 10
+        assert all(e.pending for e in live)
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(400):
+            event = sim.schedule(float(i) + 1.0, fired.append, i)
+            if i % 2:
+                event.cancel()
+            else:
+                keep.append(i)
+        sim.run()
+        assert fired == keep
+
+    def test_tiny_heaps_never_compact(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        # 9 cancelled of 10 is below the compaction floor: lazy entries
+        # are allowed to sit (rebuilding tiny heaps isn't worth it).
+        assert len(sim._heap) == 10
+        assert sim.pending_events == 1
+
+    def test_clear_with_pending_compaction_is_safe(self):
+        sim = Simulator()
+        for i in range(500):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.clear()
+        assert sim.pending_events == 0
+        assert len(sim._heap) == 0
+        assert sim._cancelled_in_heap == 0
+
+
+def _noop():
+    pass
+
+
+class TestEnginePickle:
+    def test_roundtrip_preserves_schedule(self):
+        import pickle
+
+        fired = []
+        sim = Simulator()
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        cancelled = sim.schedule(1.5, fired.append, "x")
+        cancelled.cancel()
+        sim.run(until=0.5)
+
+        clone = pickle.loads(pickle.dumps(sim))
+        assert clone.now == sim.now
+        assert clone.pending_events == 2
+        clone.run()
+        # The clone fires its *own* copies of the callbacks: its append
+        # targets the unpickled list, so the original stays untouched.
+        assert fired == []
+
+    def test_serial_counter_position_preserved(self):
+        import pickle
+
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, _noop)
+        clone = pickle.loads(pickle.dumps(sim))
+        event = clone.schedule(2.0, _noop)
+        assert event.serial == 5
+
+    def test_pickle_while_running_refuses(self):
+        import pickle
+
+        sim = Simulator()
+        errors = []
+
+        def grab():
+            try:
+                pickle.dumps(sim)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, grab)
+        sim.run()
+        assert len(errors) == 1

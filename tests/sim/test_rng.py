@@ -70,3 +70,51 @@ class TestDistributions:
     def test_expovariate_positive(self):
         rng = RngStream(4)
         assert all(rng.expovariate(2.0) >= 0 for _ in range(100))
+
+
+class TestCheckpointRoundtrip:
+    def test_getstate_setstate_replays_draws(self):
+        rng = RngStream(42, "loss")
+        rng.random()  # advance past the seed position
+        state = rng.getstate()
+        first = [rng.random() for _ in range(20)]
+        rng.setstate(state)
+        assert [rng.random() for _ in range(20)] == first
+
+    def test_state_restores_onto_fresh_stream(self):
+        a = RngStream(42, "loss")
+        a.expovariate(2.0)
+        state = a.getstate()
+        b = RngStream(42, "loss")
+        b.setstate(state)
+        assert [b.random() for _ in range(10)] == [a.random() for _ in range(10)]
+
+    def test_state_survives_pickle(self):
+        import pickle
+
+        rng = RngStream(7, "red")
+        rng.random()
+        state = pickle.loads(pickle.dumps(rng.getstate()))
+        fresh = RngStream(7, "red")
+        fresh.setstate(state)
+        assert fresh.random() == rng.random()
+
+    def test_mismatched_identity_rejected(self):
+        import pytest
+
+        state = RngStream(42, "loss").getstate()
+        other = RngStream(42, "red")
+        with pytest.raises(ValueError, match="belongs to stream"):
+            other.setstate(state)
+        with pytest.raises(ValueError, match="belongs to stream"):
+            RngStream(43, "loss").setstate(state)
+
+    def test_unknown_tag_rejected(self):
+        import pytest
+
+        rng = RngStream(1, "x")
+        tag, seed, name, inner = rng.getstate()
+        with pytest.raises(ValueError, match="tag"):
+            rng.setstate(("RngStream.v999", seed, name, inner))
+        with pytest.raises(ValueError, match="not an RngStream state"):
+            rng.setstate("garbage")

@@ -1,0 +1,108 @@
+"""Golden-state regression: committed digests per variant per checkpoint.
+
+A mismatch here means a TCP variant (or the engine, or the digest
+encoding) changed behavior.  If the change is intentional, regenerate
+with ``python scripts/update_golden.py`` and commit the diff; if not,
+the test writes a state-diff report naming the drifted sections to
+``$REPRO_ARTIFACT_DIR`` (when set) so CI uploads it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.snapshot import (
+    CHECKPOINT_TIMES,
+    DIGEST_VERSION,
+    GOLDEN_VARIANTS,
+    golden_digests,
+    state_fingerprints,
+)
+from repro.snapshot.golden import build_golden_scenario
+
+GOLDEN_FILE = Path(__file__).parent.parent / "golden" / "state_digests.json"
+
+
+@pytest.fixture(scope="module")
+def committed():
+    return json.loads(GOLDEN_FILE.read_text())
+
+
+def _write_drift_report(variant, mismatches):
+    artifact_dir = os.environ.get("REPRO_ARTIFACT_DIR")
+    if not artifact_dir:
+        return None
+    scenario = build_golden_scenario(variant)
+    lines = [f"=== golden state drift: {variant} ==="]
+    for checkpoint, expected, got in mismatches:
+        lines.append(f"{checkpoint}: expected {expected}")
+        lines.append(f"{' ' * len(checkpoint)}  got      {got}")
+    # Fingerprint the world at the first drifted checkpoint so the
+    # report names sections, not just one opaque hash.
+    first = float(mismatches[0][0].split("=", 1)[1])
+    scenario.sim.run(until=first)
+    lines.append(f"per-section fingerprints at t={first:g}:")
+    for name, digest in state_fingerprints(scenario).items():
+        lines.append(f"  {name:<12} {digest}")
+    lines.append("")
+    path = Path(artifact_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    report = path / "golden-state-drift.txt"
+    with open(report, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return report
+
+
+class TestGoldenFile:
+    def test_digest_version_matches(self, committed):
+        assert committed["digest_version"] == DIGEST_VERSION, (
+            "digest encoding changed: regenerate tests/golden/"
+            "state_digests.json with scripts/update_golden.py"
+        )
+
+    def test_checkpoints_match(self, committed):
+        assert tuple(committed["checkpoint_times"]) == CHECKPOINT_TIMES
+
+    def test_every_variant_committed(self, committed):
+        assert set(committed["digests"]) == set(GOLDEN_VARIANTS)
+
+
+@pytest.mark.parametrize("variant", GOLDEN_VARIANTS)
+def test_variant_state_matches_golden(variant, committed):
+    expected = committed["digests"][variant]
+    actual = golden_digests(variant)
+    mismatches = [
+        (checkpoint, expected[checkpoint], actual[checkpoint])
+        for checkpoint in expected
+        if actual.get(checkpoint) != expected[checkpoint]
+    ]
+    if mismatches:
+        report = _write_drift_report(variant, mismatches)
+        where = f" (report: {report})" if report else ""
+        pytest.fail(
+            f"{variant} drifted at {[m[0] for m in mismatches]}{where} — "
+            "if intentional, run scripts/update_golden.py and commit"
+        )
+
+
+class TestDigestSensitivity:
+    def test_one_line_variant_change_flips_the_digest(self, committed, monkeypatch):
+        """The golden layer's reason to exist: a one-line behavioral
+        tweak to a variant must flip its digests."""
+        from repro.core.robust_recovery import RobustRecoverySender
+
+        original = RobustRecoverySender._recovery_dupack
+
+        def tweaked(self, packet):
+            original(self, packet)
+            self.ndup += 1  # the intentional one-line change
+
+        monkeypatch.setattr(RobustRecoverySender, "_recovery_dupack", tweaked)
+        perturbed = golden_digests("rr")
+        expected = committed["digests"]["rr"]
+        # Recovery starts after the first checkpoint, so at least the
+        # later checkpoints must drift.
+        assert perturbed != expected
+        assert perturbed["t=12"] != expected["t=12"]

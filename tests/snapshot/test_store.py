@@ -1,0 +1,58 @@
+"""Tests for the digest-keyed snapshot store."""
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.runner import SnapshotStore
+from repro.snapshot import Snapshot, state_digest
+from repro.snapshot.golden import build_golden_scenario
+
+
+def _snapshot(variant="reno", until=1.0):
+    world = build_golden_scenario(variant)
+    world.sim.run(until=until)
+    return Snapshot.capture(world, label=f"{variant}@{until:g}")
+
+
+class TestSnapshotStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        snapshot = _snapshot()
+        digest = store.put(snapshot)
+        assert digest == snapshot.digest
+        assert store.contains(digest)
+        restored = store.get(digest).restore()
+        assert state_digest(restored) == digest
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        snapshot = _snapshot()
+        store.put(snapshot)
+        mtime = store.path_for(snapshot.digest).stat().st_mtime_ns
+        store.put(snapshot)
+        assert store.path_for(snapshot.digest).stat().st_mtime_ns == mtime
+
+    def test_distinct_states_get_distinct_keys(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        a = store.put(_snapshot(until=1.0))
+        b = store.put(_snapshot(until=2.0))
+        assert a != b
+        assert store.contains(a) and store.contains(b)
+
+    def test_missing_digest_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            store.get("f" * 64)
+
+    def test_info_reads_header_only(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        snapshot = _snapshot()
+        store.put(snapshot)
+        info = store.info(snapshot.digest)
+        assert info.digest == snapshot.digest
+        assert info.label == snapshot.info.label
+
+    def test_default_root_follows_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        store = SnapshotStore()
+        assert str(store.root).startswith(str(tmp_path / "cache"))
