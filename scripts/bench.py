@@ -7,7 +7,8 @@ through :mod:`repro.runner`, and writes two JSON baselines:
 
 * ``BENCH_engine.json``      — events/sec per engine workload;
 * ``BENCH_experiments.json`` — campaign wall-clock per cell, parallel
-  speedup and cache-replay hit rate.
+  speedup, cache-replay hit rate, per-grid warm-start speedups for the
+  five warm-startable sweeps, and delta-vs-full snapshot sizes.
 
 Committed baselines live at the repo root; ``--check`` compares a fresh
 run against them and exits non-zero on a >30% events/sec regression
@@ -38,13 +39,23 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from workloads import MICRO_WORKLOADS  # noqa: E402
 
-from repro.experiments.figure5 import Figure5Config, run_figure5  # noqa: E402
+from repro.experiments.ackloss import AckLossConfig, run_ackloss  # noqa: E402
+from repro.experiments.figure5 import (  # noqa: E402
+    Figure5Config,
+    capture_warm_snapshot,
+    run_figure5,
+)
+from repro.experiments.figure6 import Figure6Config, run_figure6  # noqa: E402
+from repro.experiments.figure7 import Figure7Config, run_figure7  # noqa: E402
+from repro.experiments.table5 import Table5Config, run_table5  # noqa: E402
 from repro.runner import (  # noqa: E402
     ResultCache,
     SnapshotStore,
     SweepRunner,
     default_jobs,
 )
+from repro.snapshot import Snapshot  # noqa: E402
+from repro.snapshot.delta import DeltaSnapshot, should_fall_back  # noqa: E402
 
 ENGINE_BASELINE = "BENCH_engine.json"
 EXPERIMENTS_BASELINE = "BENCH_experiments.json"
@@ -113,60 +124,141 @@ def bench_experiments(quick: bool, jobs: int) -> dict:
     return report
 
 
-def bench_warmstart(quick: bool) -> dict:
-    """Warm-start speedup: fork one captured pre-loss prefix per variant
-    instead of re-running slow start from t=0 in every cell.
+def _warmstart_grids(quick: bool) -> list:
+    """(name, run_fn, config, cells, result-extractor) per warm-startable
+    sweep.
 
-    Uses a late-loss grid (the first engineered drop at packet 400 of a
-    600-packet transfer, six drop counts per variant) so the shared
-    warm-up prefix dominates each cell and each captured prefix is
-    forked many times — the regime warm starting exists for.  Cold and
-    warm rows are bit-identical (asserted), so the speedup is free of
-    accuracy cost.
+    Bench sizings trim the slowest paper grids (figure7's 100 s runs,
+    table5's 180 s replicas) so a full baseline refresh stays in
+    minutes — the warm/cold ratio is the tracked quantity, not paper
+    numbers.  figure5 uses a late-loss grid (first engineered drop at
+    packet 400 of a 600-packet transfer) so the shared prefix dominates
+    each cell — the regime warm starting exists for.
     """
-    config = Figure5Config(
+    fig5 = Figure5Config(
         drop_counts=(1, 2, 3, 4, 5, 6),
         first_drop_seq=400,
         transfer_packets=600,
         sim_duration=60.0,
     )
+    fig6 = Figure6Config()
+    fig7 = Figure7Config(loss_rates=(0.01, 0.03, 0.05), duration=40.0, runs_per_point=2)
+    tab5 = Table5Config(runs_per_case=2, sim_duration=60.0)
+    ack = AckLossConfig()
     if quick:
-        config.variants = ("newreno", "rr")
-    with tempfile.TemporaryDirectory(prefix="repro-bench-snap-") as tmp:
-        store = SnapshotStore(tmp)
-        start = time.perf_counter()
-        cold = run_figure5(config, runner=SweepRunner())
-        cold_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        warm = run_figure5(
-            config, runner=SweepRunner(), warm_start=True, store=store
+        fig5.variants = ("newreno", "rr")
+        fig6.duration = 4.0
+        fig7 = Figure7Config(loss_rates=(0.01, 0.05), duration=20.0, runs_per_point=1)
+        tab5 = Table5Config(
+            cases=(("reno", "rr"), ("rr", "rr")), runs_per_case=2, sim_duration=30.0
         )
-        first_warm_seconds = time.perf_counter() - start
-        # Second warm sweep replays the already-captured snapshots —
-        # the steady state of iterating on a sweep's post-loss cells.
-        start = time.perf_counter()
-        run_figure5(config, runner=SweepRunner(), warm_start=True, store=store)
-        replay_warm_seconds = time.perf_counter() - start
-    if warm.rows != cold.rows:
-        raise AssertionError("warm-start rows diverged from cold rows")
-    cells = len(config.drop_counts) * len(config.variants)
-    report = {
-        "campaign": "figure5-late-loss" + ("-quick" if quick else ""),
-        "cells": cells,
-        "cold_seconds": round(cold_seconds, 3),
-        "warm_seconds": round(first_warm_seconds, 3),
-        "warm_replay_seconds": round(replay_warm_seconds, 3),
-        "warm_speedup": (
-            round(cold_seconds / first_warm_seconds, 2) if first_warm_seconds else None
-        ),
-        "warm_replay_speedup": (
-            round(cold_seconds / replay_warm_seconds, 2) if replay_warm_seconds else None
-        ),
-        "bit_identical": True,
-    }
-    for key, value in report.items():
-        print(f"  {key:<22} {value}")
-    return report
+        ack = AckLossConfig(
+            variants=("newreno", "rr"),
+            ack_loss_rates=(0.0, 0.1),
+            runs_per_point=2,
+            sim_duration=30.0,
+        )
+    return [
+        ("figure5-late-loss", run_figure5, fig5,
+         len(fig5.drop_counts) * len(fig5.variants), lambda r: r.rows),
+        ("figure6", run_figure6, fig6, len(fig6.variants), lambda r: r.flows),
+        ("figure7", run_figure7, fig7,
+         len(fig7.variants) * len(fig7.loss_rates), lambda r: r.points),
+        ("table5", run_table5, tab5,
+         len(tab5.cases) * tab5.runs_per_case, lambda r: r.rows),
+        ("ackloss", run_ackloss, ack,
+         len(ack.variants) * len(ack.ack_loss_rates), lambda r: r.rows),
+    ]
+
+
+def bench_warmstart(quick: bool) -> dict:
+    """Per-grid warm-start speedup: fork one captured prefix snapshot
+    per variant (per background mix for table5) instead of replaying
+    the shared warm-up from t=0 in every cell.
+
+    Cold and warm results are asserted equal, so the speedups are free
+    of accuracy cost.  The second warm sweep replays already-captured
+    prefixes via the prefix index — the steady state of iterating on a
+    sweep's post-prefix cells.
+    """
+    suffix = "-quick" if quick else ""
+    grids = {}
+    for name, run_fn, config, cells, rows_of in _warmstart_grids(quick):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-snap-") as tmp:
+            store = SnapshotStore(tmp)
+            start = time.perf_counter()
+            cold = run_fn(config, runner=SweepRunner())
+            cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = run_fn(config, runner=SweepRunner(), warm_start=True, store=store)
+            warm_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            replay = run_fn(config, runner=SweepRunner(), warm_start=True, store=store)
+            replay_seconds = time.perf_counter() - start
+        if rows_of(warm) != rows_of(cold) or rows_of(replay) != rows_of(cold):
+            raise AssertionError(f"{name}: warm-start results diverged from cold")
+        report = {
+            "campaign": name + suffix,
+            "cells": cells,
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+            "warm_replay_seconds": round(replay_seconds, 3),
+            "warm_speedup": (
+                round(cold_seconds / warm_seconds, 2) if warm_seconds else None
+            ),
+            "warm_replay_speedup": (
+                round(cold_seconds / replay_seconds, 2) if replay_seconds else None
+            ),
+            "bit_identical": True,
+        }
+        grids[name] = report
+        print(
+            f"  {name:<20} cold {report['cold_seconds']:>7.3f}s"
+            f"  warm {report['warm_seconds']:>7.3f}s (x{report['warm_speedup']})"
+            f"  replay {report['warm_replay_seconds']:>7.3f}s"
+            f" (x{report['warm_replay_speedup']})"
+        )
+    return grids
+
+
+def bench_delta() -> dict:
+    """Delta-vs-full snapshot sizes for per-cell forks.
+
+    Captures the figure5 late-loss prefix, forks it (restore, reprogram
+    the cell's drops, run a little further — exactly what a warm cell
+    or a triage fork does), and records how much smaller each fork is
+    when stored as a delta against its base.  The far fork shows the
+    delta degrading gracefully as the fork diverges.
+    """
+    from repro.experiments.figure5 import _cell_drops
+
+    config = Figure5Config(
+        drop_counts=(1, 2, 3),
+        first_drop_seq=400,
+        transfer_packets=600,
+        sim_duration=60.0,
+    )
+    base = capture_warm_snapshot("rr", config)
+    forks = {}
+    for label, extra_seconds in (("near-fork", 0.25), ("far-fork", 5.0)):
+        scenario = base.restore(verify=False)
+        scenario.dumbbell.forward_link.loss.reprogram(_cell_drops(3, config))
+        scenario.sim.run(until=scenario.sim.now + extra_seconds)
+        fork = Snapshot.capture(scenario, label=f"bench {label}")
+        delta = DeltaSnapshot.diff(fork, base)
+        forks[label] = {
+            "sim_seconds_past_base": extra_seconds,
+            "full_bytes": fork.nbytes,
+            "delta_bytes": delta.nbytes,
+            "delta_over_full": round(delta.nbytes / fork.nbytes, 4),
+            "fallback_to_full": should_fall_back(delta, fork),
+        }
+        print(
+            f"  {label:<20} full {fork.nbytes:>8,} B"
+            f"  delta {delta.nbytes:>8,} B"
+            f"  ({forks[label]['delta_over_full']:.0%} of full)"
+        )
+    return {"base_bytes": base.nbytes, "forks": forks}
 
 
 def check_regression(fresh: dict, baseline_path: Path, max_regression: float) -> int:
@@ -231,7 +323,7 @@ def main(argv=None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     meta = {
-        "schema": 1,
+        "schema": 2,
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -246,10 +338,15 @@ def main(argv=None) -> int:
 
     print("experiment macro campaign:")
     campaign = bench_experiments(args.quick, jobs)
-    print("warm-start (snapshot fork) campaign:")
+    print("warm-start (snapshot fork) campaigns:")
     warmstart = bench_warmstart(args.quick)
+    print("delta snapshot sizes:")
+    delta = bench_delta()
     (out_dir / EXPERIMENTS_BASELINE).write_text(
-        json.dumps({**meta, "campaign": campaign, "warmstart": warmstart}, indent=2)
+        json.dumps(
+            {**meta, "campaign": campaign, "warmstart": warmstart, "delta": delta},
+            indent=2,
+        )
         + "\n"
     )
     print(f"wrote {out_dir / ENGINE_BASELINE} and {out_dir / EXPERIMENTS_BASELINE}")

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Keep the docs' code examples honest.
+
+Extracts fenced code blocks from ``docs/*.md`` and ``README.md`` and
+verifies, without executing any example:
+
+* every ``python`` block parses, and every ``import x`` /
+  ``from x import y`` of a ``repro`` module resolves against the
+  installed package — including each imported name existing on the
+  module;
+* every ``python -m repro.experiments <cmd>`` invocation (in any
+  fenced block) names a real subcommand, verified by running
+  ``python -m repro.experiments <cmd> --help``.
+
+CI runs this (see .github/workflows/ci.yml), so renaming a public API
+or a CLI verb without updating the docs fails the build.
+
+Usage::
+
+    python scripts/check_docs.py            # check docs/*.md + README.md
+    python scripts/check_docs.py FILE...    # check specific files
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import os
+import re
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+CLI_RE = re.compile(r"python -m repro\.experiments\s+([a-z0-9_.-]+)")
+
+
+def fenced_blocks(text: str) -> Iterator[Tuple[str, str, int]]:
+    """Yield (language, content, first line number) per fenced block."""
+    lang = None
+    content: List[str] = []
+    start = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = FENCE_RE.match(line.strip())
+        if match and lang is None:
+            lang = match.group(1).lower()
+            content = []
+            start = lineno + 1
+        elif line.strip() == "```" and lang is not None:
+            # Dedent so blocks nested inside list items still parse.
+            yield lang, textwrap.dedent("\n".join(content)), start
+            lang = None
+        elif lang is not None:
+            content.append(line)
+
+
+def check_python_block(block: str, where: str) -> List[str]:
+    """Parse the block and resolve its ``repro`` imports."""
+    try:
+        tree = ast.parse(block)
+    except SyntaxError as exc:
+        return [f"{where}: python block does not parse: {exc.msg} (line {exc.lineno})"]
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            targets = [(alias.name, None) for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            targets = [(node.module, alias.name) for alias in node.names]
+        else:
+            continue
+        for module_name, attr in targets:
+            if module_name.split(".")[0] != "repro":
+                continue
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError as exc:
+                problems.append(f"{where}: cannot import {module_name}: {exc}")
+                continue
+            if attr is not None and attr != "*" and not hasattr(module, attr):
+                problems.append(
+                    f"{where}: {module_name} has no attribute {attr!r}"
+                )
+    return problems
+
+
+def check_cli_commands(commands: List[Tuple[str, str]]) -> List[str]:
+    """``python -m repro.experiments <cmd> --help`` must succeed."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    problems = []
+    for command in sorted({cmd for cmd, _ in commands}):
+        wheres = [where for cmd, where in commands if cmd == command]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", command, "--help"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        if proc.returncode != 0:
+            detail = (proc.stderr or proc.stdout).strip().splitlines()
+            problems.append(
+                f"{wheres[0]}: 'python -m repro.experiments {command}' is not "
+                f"a valid command ({detail[-1] if detail else 'no output'})"
+            )
+    return problems
+
+
+def check_file(path: Path) -> Tuple[List[str], List[Tuple[str, str]], int]:
+    problems: List[str] = []
+    commands: List[Tuple[str, str]] = []
+    text = path.read_text(encoding="utf-8")
+    blocks = 0
+    for lang, block, lineno in fenced_blocks(text):
+        blocks += 1
+        where = f"{path.relative_to(REPO_ROOT)}:{lineno}"
+        if lang == "python":
+            problems.extend(check_python_block(block, where))
+        commands.extend(
+            (match.group(1), where) for match in CLI_RE.finditer(block)
+        )
+    return problems, commands, blocks
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        paths = [Path(arg).resolve() for arg in argv]
+    else:
+        paths = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+    problems: List[str] = []
+    commands: List[Tuple[str, str]] = []
+    total_blocks = 0
+    for path in paths:
+        file_problems, file_commands, blocks = check_file(path)
+        problems.extend(file_problems)
+        commands.extend(file_commands)
+        total_blocks += blocks
+    problems.extend(check_cli_commands(commands))
+    unique_cmds = len({cmd for cmd, _ in commands})
+    print(
+        f"checked {len(paths)} files, {total_blocks} fenced blocks, "
+        f"{unique_cmds} distinct CLI commands"
+    )
+    for problem in problems:
+        print(f"FAIL {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

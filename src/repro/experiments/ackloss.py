@@ -13,6 +13,13 @@ recovery, so the paper argues:
 This harness injects i.i.d. ACK losses on the reverse bottleneck path
 at increasing rates while the forward path engineers a 4-drop burst,
 then reports goodput and timeout counts per scheme.
+
+ACK losses switch on just before the engineered burst (the warm-start
+capture point): every cell of one variant shares the same clean
+slow-start prefix — the forward burst is programmed identically
+everywhere, so only the reverse-path loss module differs per cell —
+and the measured window (``measure_seconds`` from loss detection) sees
+the ACK-loss process throughout.
 """
 
 from __future__ import annotations
@@ -21,11 +28,20 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.config import TcpConfig
+from repro.errors import SnapshotError
 from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.metrics.throughput import goodput_bps
 from repro.net.loss import AckLoss, DeterministicLoss
+from repro.net.packet import set_uid_state
 from repro.net.topology import DumbbellParams
-from repro.runner import SweepRunner, TaskSpec
+from repro.runner import (
+    PrefixSpec,
+    SnapshotStore,
+    SweepRunner,
+    TaskSpec,
+    step_until,
+    warm_specs,
+)
 from repro.sim.rng import RngStream
 from repro.viz.ascii import format_table
 
@@ -60,34 +76,73 @@ class AckLossResult:
     rows: List[AckLossRow] = field(default_factory=list)
 
 
-def run_point(variant: str, ack_rate: float, config: AckLossConfig) -> AckLossRow:
-    goodputs, timeouts, completions = [], [], []
-    for run in range(config.runs_per_point):
-        rng = RngStream(config.seed + run, f"ackloss-{variant}-{ack_rate}")
-        forward = DeterministicLoss(
-            [(1, config.first_drop_seq + i) for i in range(config.burst_drops)]
+#: Safety margin (packets) the warm-up capture keeps below the first
+#: engineered drop (same rationale as the Figure-5 harness).
+WARM_MARGIN_PACKETS = 20
+
+#: Step size (seconds) of the warm-up capture loop.
+WARM_STEP_SECONDS = 0.02
+
+
+def prefix_world(variant: str, config: AckLossConfig):
+    """Build one variant's cell with the engineered forward burst
+    programmed (identical in every cell) and a still-inert reverse
+    path, and step it to just before the first drop."""
+    set_uid_state(1)
+    forward = DeterministicLoss(
+        [(1, config.first_drop_seq + i) for i in range(config.burst_drops)]
+    )
+    scenario = build_dumbbell_scenario(
+        flows=[FlowSpec(variant=variant, amount_packets=config.transfer_packets)],
+        params=DumbbellParams(n_pairs=1, buffer_packets=25),
+        default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
+        forward_loss=forward,
+    )
+    sender = scenario.senders[1]
+    target = config.first_drop_seq - WARM_MARGIN_PACKETS
+    step_until(
+        scenario.sim,
+        lambda: sender.maxseq >= target,
+        step=WARM_STEP_SECONDS,
+        deadline=config.sim_duration,
+    )
+    if sender.maxseq >= config.first_drop_seq:
+        raise SnapshotError(
+            f"warm-up overran the engineered burst: maxseq={sender.maxseq} >= "
+            f"first_drop_seq={config.first_drop_seq}"
         )
-        reverse = AckLoss(rate=ack_rate, rng=rng)
-        scenario = build_dumbbell_scenario(
-            flows=[FlowSpec(variant=variant, amount_packets=config.transfer_packets)],
-            params=DumbbellParams(n_pairs=1, buffer_packets=25),
-            default_config=TcpConfig(receiver_window=64, initial_ssthresh=20.0),
-            forward_loss=forward,
-            reverse_loss=reverse,
-        )
-        scenario.sim.run(until=config.sim_duration)
-        sender, stats = scenario.flow(1)
-        # Goodput over a fixed window starting at the engineered burst.
-        t_loss = next(
-            (t for t, _, retransmit in stats.send_series if retransmit), None
-        )
-        if t_loss is None:
-            t_loss = 0.0
-        goodputs.append(
-            goodput_bps(stats, t_loss, t_loss + config.measure_seconds)
-        )
-        timeouts.append(sender.timeouts)
-        completions.append(1.0 if sender.completed else 0.0)
+    return scenario
+
+
+def prefix_spec(variant: str, config: AckLossConfig) -> PrefixSpec:
+    return PrefixSpec(
+        fn="repro.experiments.ackloss:prefix_world",
+        args=(variant, config),
+        label=f"ackloss warm prefix {variant}",
+    )
+
+
+def _measure_from(scenario, variant: str, ack_rate: float, run: int, config: AckLossConfig):
+    """Arm the cell's reverse-path ACK losses and finish the run."""
+    rng = RngStream(config.seed + run, f"ackloss-{variant}-{ack_rate}")
+    scenario.dumbbell.reverse_link.loss = AckLoss(rate=ack_rate, rng=rng)
+    scenario.sim.run(until=config.sim_duration)
+    sender, stats = scenario.flow(1)
+    # Goodput over a fixed window starting at the engineered burst.
+    t_loss = next(
+        (t for t, _, retransmit in stats.send_series if retransmit), None
+    )
+    if t_loss is None:
+        t_loss = 0.0
+    return (
+        goodput_bps(stats, t_loss, t_loss + config.measure_seconds),
+        sender.timeouts,
+        1.0 if sender.completed else 0.0,
+    )
+
+
+def _reduce_point(variant: str, ack_rate: float, measurements) -> AckLossRow:
+    goodputs, timeouts, completions = zip(*measurements)
     n = len(goodputs)
     return AckLossRow(
         variant=variant,
@@ -98,21 +153,76 @@ def run_point(variant: str, ack_rate: float, config: AckLossConfig) -> AckLossRo
     )
 
 
+def run_point(variant: str, ack_rate: float, config: AckLossConfig) -> AckLossRow:
+    measurements = [
+        _measure_from(prefix_world(variant, config), variant, ack_rate, run, config)
+        for run in range(config.runs_per_point)
+    ]
+    return _reduce_point(variant, ack_rate, measurements)
+
+
+def run_point_from_snapshot(
+    digest: str,
+    variant: str,
+    ack_rate: float,
+    config: AckLossConfig,
+    store_root: Optional[str] = None,
+) -> AckLossRow:
+    """One (variant, rate) point with every run restored from the frozen
+    pre-burst prefix."""
+    snapshot = SnapshotStore(store_root).get(digest)
+    measurements = [
+        _measure_from(
+            snapshot.restore(verify=False), variant, ack_rate, run, config
+        )
+        for run in range(config.runs_per_point)
+    ]
+    return _reduce_point(variant, ack_rate, measurements)
+
+
 def run_ackloss(
-    config: Optional[AckLossConfig] = None, runner: Optional[SweepRunner] = None
+    config: Optional[AckLossConfig] = None,
+    runner: Optional[SweepRunner] = None,
+    warm_start: bool = False,
+    store: Optional[SnapshotStore] = None,
 ) -> AckLossResult:
+    """Regenerate the ACK-loss grid.
+
+    With ``warm_start`` the clean slow-start prefix (forward burst
+    programmed, reverse path still inert) is simulated once per variant
+    and every ``ack_loss_rates x runs_per_point`` cell forks it —
+    bit-identical rows.
+    """
     config = config or AckLossConfig()
     runner = runner or SweepRunner()
     result = AckLossResult(config=config)
-    specs = [
-        TaskSpec(
-            fn="repro.experiments.ackloss:run_point",
-            args=(variant, rate, config),
-            label=f"ackloss {variant}/{rate}",
-        )
+    cells = [
+        (variant, rate)
         for variant in config.variants
         for rate in config.ack_loss_rates
     ]
+    if warm_start:
+        store = store or SnapshotStore()
+        store_arg = str(store.root)
+        specs = warm_specs(
+            cells,
+            prefix_for=lambda cell: prefix_spec(cell[0], config),
+            spec_for=lambda cell, digest: TaskSpec(
+                fn="repro.experiments.ackloss:run_point_from_snapshot",
+                args=(digest, cell[0], cell[1], config, store_arg),
+                label=f"ackloss {cell[0]}/{cell[1]} (warm)",
+            ),
+            store=store,
+        )
+    else:
+        specs = [
+            TaskSpec(
+                fn="repro.experiments.ackloss:run_point",
+                args=(variant, rate, config),
+                label=f"ackloss {variant}/{rate}",
+            )
+            for variant, rate in cells
+        ]
     result.rows.extend(runner.map(specs))
     return result
 

@@ -30,8 +30,10 @@ from repro.errors import InvariantViolation
 from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.faults.campaign import CampaignRunner, CampaignSpec
 from repro.faults.plan import FaultContext, FaultPlan
+from repro.faults.triage import TriageResult, triage_crash
 from repro.net.topology import DumbbellParams
-from repro.runner import SweepRunner, TaskSpec
+from repro.runner import SnapshotStore, SweepRunner, TaskSpec
+from repro.snapshot import Snapshot
 from repro.sim.invariants import InvariantSuite
 from repro.sim.watchdog import CrashReport, Watchdog
 from repro.viz.ascii import format_table
@@ -50,6 +52,14 @@ class ChaosConfig:
     check_interval: float = 5.0    #   timeout recovery never reads as a stall
     max_events: int = 2_000_000
     tail_size: int = 50
+    # Snapshot-based crash triage: freeze the world where a guard
+    # tripped, fork it with and without the active fault, and attach
+    # the bisection verdict (and both fork digests) to the report.
+    triage: bool = False
+    triage_grace: float = 30.0
+    # Where triage snapshots persist (crash point in full, forks as
+    # deltas).  None = digests only, nothing written to disk.
+    snapshot_store_root: Optional[str] = None
     campaign: CampaignSpec = field(
         default_factory=lambda: CampaignSpec(
             horizon=20.0,      # faults land while the transfer is in flight
@@ -79,6 +89,8 @@ class ChaosRun:
     violation: Optional[InvariantViolation] = None
     crash: Optional[CrashReport] = None
     records_checked: int = 0
+    snapshot_digest: Optional[str] = None
+    triage: Optional[TriageResult] = None
 
     @property
     def survived(self) -> bool:
@@ -209,9 +221,35 @@ def _run_one(
     run.finish_time = sender.complete_time
     run.crash = watchdog.report
     run.records_checked = suite.records_seen
-    if run.crash is not None or run.violation is not None:
+    failed = run.crash is not None or run.violation is not None
+    if failed and config.triage and plan is not None:
+        _triage_failure(run, scenario, config)
+    if failed:
         _dump_failure_artifact(run)
     return run
+
+
+def _triage_failure(run: ChaosRun, scenario, config: ChaosConfig) -> None:
+    """Freeze the crash point and bisect it (see repro.faults.triage).
+
+    Runs after the watchdog is disarmed and the invariant suite
+    uninstalled, so the world is capturable and the forks re-run
+    without guards re-tripping mid-triage.
+    """
+    crash_snapshot = Snapshot.capture(
+        scenario, label=f"chaos crash {run.variant} seed {run.seed_index}"
+    )
+    store = (
+        SnapshotStore(config.snapshot_store_root)
+        if config.snapshot_store_root
+        else None
+    )
+    triage = triage_crash(crash_snapshot, grace=config.triage_grace, store=store)
+    run.snapshot_digest = crash_snapshot.digest
+    run.triage = triage
+    if run.crash is not None:
+        run.crash.snapshot_digest = crash_snapshot.digest
+        run.crash.triage = triage
 
 
 def _dump_failure_artifact(run: ChaosRun) -> None:
@@ -227,6 +265,8 @@ def _dump_failure_artifact(run: ChaosRun) -> None:
         lines.append(run.violation.format_tail())
     if run.crash is not None:
         lines.append(run.crash.format())
+    elif run.triage is not None:
+        lines.append(run.triage.format())
     lines.append("")
     try:
         path = Path(artifact_dir)
@@ -355,6 +395,8 @@ def format_report(result: ChaosResult) -> str:
                 lines.append(f"  {run.violation}")
             if run.crash is not None:
                 lines.append("  " + run.crash.format().replace("\n", "\n  "))
+            elif run.triage is not None:
+                lines.append("  " + run.triage.format().replace("\n", "\n  "))
     lines.append("")
     lines.append(
         "paper shape (Section 2.3): under ACK loss RR degrades linearly —"

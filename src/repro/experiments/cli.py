@@ -12,7 +12,9 @@ Every experiment grid is executed through :mod:`repro.runner`:
 (bit-identical results at any N), and completed cells are memoized in
 an on-disk cache keyed by task + code fingerprint, so repeating a run
 is nearly free.  ``--no-cache`` forces recomputation; see
-docs/PERFORMANCE.md.
+docs/PERFORMANCE.md.  ``--warm-start`` forks the warm-startable grids
+from frozen prefixes, and ``--triage`` bisects chaos crashes from
+frozen crash points; both are documented in docs/WARMSTART.md.
 """
 
 from __future__ import annotations
@@ -36,12 +38,16 @@ from repro.experiments import (
 from repro.runner import ResultCache, SweepRunner
 
 
+def _warm(args) -> bool:
+    return bool(getattr(args, "warm_start", False))
+
+
 def _run_fig5(args, runner):
     config = figure5.Figure5Config()
     if args.quick:
         config.transfer_packets = 300
         config.sim_duration = 30.0
-    result = figure5.run_figure5(config, runner=runner)
+    result = figure5.run_figure5(config, runner=runner, warm_start=_warm(args))
     return figure5.format_report(result), result, "fig5"
 
 
@@ -49,7 +55,7 @@ def _run_fig6(args, runner):
     config = figure6.Figure6Config()
     if args.quick:
         config.duration = 3.0
-    result = figure6.run_figure6(config, runner=runner)
+    result = figure6.run_figure6(config, runner=runner, warm_start=_warm(args))
     return figure6.format_report(result, plots=not args.quick), result, "fig6"
 
 
@@ -59,7 +65,7 @@ def _run_fig7(args, runner):
         config.loss_rates = (0.01, 0.05, 0.1)
         config.duration = 30.0
         config.runs_per_point = 1
-    result = figure7.run_figure7(config, runner=runner)
+    result = figure7.run_figure7(config, runner=runner, warm_start=_warm(args))
     return figure7.format_report(result, plot=not args.quick), result, "fig7"
 
 
@@ -68,7 +74,7 @@ def _run_table5(args, runner):
     if args.quick:
         config.sim_duration = 90.0
         config.runs_per_case = 2
-    result = table5.run_table5(config, runner=runner)
+    result = table5.run_table5(config, runner=runner, warm_start=_warm(args))
     return table5.format_report(result), result, "table5"
 
 
@@ -87,7 +93,8 @@ def _run_ackloss(args, runner):
         config.ack_loss_rates = (0.0, 0.1)
         config.runs_per_point = 1
         config.sim_duration = 30.0
-    return ackloss.format_report(ackloss.run_ackloss(config, runner=runner)), None, None
+    result = ackloss.run_ackloss(config, runner=runner, warm_start=_warm(args))
+    return ackloss.format_report(result), None, None
 
 
 def _run_ablation(args, runner):
@@ -122,6 +129,11 @@ def _run_chaos(args, runner):
         config.seeds = args.seeds
     if getattr(args, "variants", None):
         config.variants = tuple(args.variants)
+    if getattr(args, "triage", False):
+        from repro.runner import SnapshotStore
+
+        config.triage = True
+        config.snapshot_store_root = str(SnapshotStore().root)
     return chaos.format_report(chaos.run_chaos(config, runner=runner)), None, None
 
 
@@ -179,7 +191,9 @@ def snapshot_cli(argv: List[str]) -> int:
     and writes the frozen world to ``--out``; ``inspect`` prints a
     snapshot file's header without loading the payload; ``run`` resumes
     a snapshot (``--from-snapshot``) and simulates to ``--until`` (or
-    until the event queue drains).
+    until the event queue drains); ``diff`` compares two snapshot files
+    (per-section byte drift, delta-encoding size, and the semantic
+    state-fingerprint diff of the restored worlds).
     """
     from repro.snapshot import Snapshot, build_golden_scenario
     from repro.tcp.factory import VARIANTS
@@ -214,6 +228,15 @@ def snapshot_cli(argv: List[str]) -> int:
         metavar="T",
         help="absolute simulation time to stop at (default: drain the queue)",
     )
+    diffp = sub.add_parser("diff", help="compare two snapshot files")
+    diffp.add_argument("base", metavar="BASE")
+    diffp.add_argument("target", metavar="TARGET")
+    diffp.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also restore both worlds and diff their per-attribute"
+        " state fingerprints (slower; mutates nothing on disk)",
+    )
     args = parser.parse_args(argv)
 
     if args.verb == "capture":
@@ -238,6 +261,8 @@ def snapshot_cli(argv: List[str]) -> int:
             f"  digest {info.digest}"
         )
         return 0
+    if args.verb == "diff":
+        return _snapshot_diff(args)
     # run
     world = Snapshot.load(args.from_snapshot).restore()
     fired = world.sim.run(until=args.until)
@@ -253,6 +278,61 @@ def snapshot_cli(argv: List[str]) -> int:
                 f"cwnd={sender.cwnd:.2f} rtos={sender.timeouts} "
                 f"{'done' if sender.completed else 'open'}"
             )
+    return 0
+
+
+def _snapshot_diff(args) -> int:
+    """``snapshot diff BASE TARGET``: section drift + delta size, and
+    optionally the semantic per-attribute fingerprint diff."""
+    from repro.snapshot import Snapshot, state_fingerprints
+    from repro.snapshot.delta import DeltaSnapshot, should_fall_back
+
+    base = Snapshot.load(args.base)
+    target = Snapshot.load(args.target)
+    print(f"base:   {args.base}  t={base.sim_time:g}  digest {base.digest[:16]}…")
+    print(f"target: {args.target}  t={target.sim_time:g}  digest {target.digest[:16]}…")
+    if base.digest == target.digest:
+        print("snapshots are identical (same state digest)")
+        return 0
+    base_sections = base.section_bytes()
+    target_sections = target.section_bytes()
+    print(f"{'section':<16} {'base B':>8} {'target B':>8}  drift")
+    names = list(target_sections)
+    names += [n for n in base_sections if n not in target_sections]
+    for name in names:
+        b = base_sections.get(name)
+        t = target_sections.get(name)
+        if b is None or t is None:
+            drift = "only in " + ("target" if b is None else "base")
+        elif b == t:
+            drift = "identical"
+        else:
+            drift = "changed"
+        print(f"{name:<16} {len(b) if b else 0:>8} {len(t) if t else 0:>8}  {drift}")
+    delta = DeltaSnapshot.diff(target, base)
+    pct = 100.0 * delta.nbytes / target.nbytes if target.nbytes else 0.0
+    print(
+        f"delta encoding (target vs base): {delta.nbytes} B vs {target.nbytes} B"
+        f" full ({pct:.0f}%)"
+        + ("; store would fall back to full" if should_fall_back(delta, target) else "")
+    )
+    if args.semantic:
+        base_fp = state_fingerprints(base.restore(verify=False))
+        target_fp = state_fingerprints(target.restore(verify=False))
+        drifted = [
+            k
+            for k in sorted(set(base_fp) | set(target_fp))
+            if base_fp.get(k) != target_fp.get(k)
+        ]
+        if drifted:
+            print("semantic drift (state fingerprints):")
+            for key in drifted:
+                print(
+                    f"  {key}: {base_fp.get(key, '-')[:12]} ->"
+                    f" {target_fp.get(key, '-')[:12]}"
+                )
+        else:
+            print("no semantic drift at the top level (byte-only differences)")
     return 0
 
 
@@ -310,6 +390,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write each report to DIR/<id>.txt",
     )
     parser.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="fig5/fig6/fig7/table5/ackloss: fork each grid from frozen"
+        " warm-up prefixes instead of re-simulating them (bit-identical"
+        " rows; see docs/WARMSTART.md)",
+    )
+    parser.add_argument(
         "--seeds",
         type=int,
         default=None,
@@ -321,6 +408,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="VARIANT",
         default=None,
         help="chaos only: restrict to these TCP variants",
+    )
+    parser.add_argument(
+        "--triage",
+        action="store_true",
+        help="chaos only: on a watchdog/invariant trip, freeze the crash"
+        " point and bisect it with/without the active fault"
+        " (see docs/WARMSTART.md)",
     )
     args = parser.parse_args(argv)
     if args.list:

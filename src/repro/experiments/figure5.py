@@ -44,7 +44,14 @@ from repro.metrics.throughput import (
 )
 from repro.net.loss import DeterministicLoss
 from repro.net.topology import DumbbellParams
-from repro.runner import SnapshotStore, SweepRunner, TaskSpec
+from repro.runner import (
+    PrefixSpec,
+    SnapshotStore,
+    SweepRunner,
+    TaskSpec,
+    step_until,
+    warm_specs,
+)
 from repro.snapshot import Snapshot
 from repro.viz.ascii import format_table
 
@@ -156,8 +163,8 @@ WARM_MARGIN_PACKETS = 20
 WARM_STEP_SECONDS = 0.02
 
 
-def capture_warm_snapshot(variant: str, config: Figure5Config) -> Snapshot:
-    """Run the shared pre-loss prefix of a Figure-5 cell and freeze it.
+def prefix_world(variant: str, config: Figure5Config):
+    """Build and advance the shared pre-loss prefix of a Figure-5 cell.
 
     The world is built with an *empty* drop list — identical on the wire
     to any cell's world before its first engineered drop — and stepped
@@ -169,15 +176,36 @@ def capture_warm_snapshot(variant: str, config: Figure5Config) -> Snapshot:
     scenario = _build(variant, DeterministicLoss([]), config)
     sender = scenario.senders[1]
     target = config.first_drop_seq - WARM_MARGIN_PACKETS
-    while sender.maxseq < target and scenario.sim.now < config.sim_duration:
-        scenario.sim.run(until=scenario.sim.now + WARM_STEP_SECONDS)
+    step_until(
+        scenario.sim,
+        lambda: sender.maxseq >= target,
+        step=WARM_STEP_SECONDS,
+        deadline=config.sim_duration,
+    )
     if sender.maxseq >= config.first_drop_seq:
         raise SnapshotError(
             f"warm-up overran the loss point: maxseq={sender.maxseq} >= "
             f"first_drop_seq={config.first_drop_seq} (margin too small for "
             "this bandwidth/window configuration)"
         )
-    return Snapshot.capture(scenario, label=f"fig5 warm prefix {variant}")
+    return scenario
+
+
+def prefix_spec(variant: str, config: Figure5Config) -> PrefixSpec:
+    """The named prefix spec behind :func:`prefix_world` (see
+    :mod:`repro.runner.warmstart` for the contract)."""
+    return PrefixSpec(
+        fn="repro.experiments.figure5:prefix_world",
+        args=(variant, config),
+        label=f"fig5 warm prefix {variant}",
+    )
+
+
+def capture_warm_snapshot(variant: str, config: Figure5Config) -> Snapshot:
+    """Run the shared pre-loss prefix of a Figure-5 cell and freeze it."""
+    return Snapshot.capture(
+        prefix_world(variant, config), label=f"fig5 warm prefix {variant}"
+    )
 
 
 def run_single_from_snapshot(
@@ -220,21 +248,24 @@ def run_figure5(
     config = config or Figure5Config()
     runner = runner or SweepRunner()
     result = Figure5Result(config=config)
+    cells = [
+        (variant, n_drops)
+        for n_drops in config.drop_counts
+        for variant in config.variants
+    ]
     if warm_start:
         store = store or SnapshotStore()
-        digests = {}
-        for variant in config.variants:
-            digests[variant] = store.put(capture_warm_snapshot(variant, config))
         store_arg = str(store.root)
-        specs = [
-            TaskSpec(
+        specs = warm_specs(
+            cells,
+            prefix_for=lambda cell: prefix_spec(cell[0], config),
+            spec_for=lambda cell, digest: TaskSpec(
                 fn="repro.experiments.figure5:run_single_from_snapshot",
-                args=(digests[variant], variant, n_drops, config, store_arg),
-                label=f"fig5 {variant}/{n_drops}-drop (warm)",
-            )
-            for n_drops in config.drop_counts
-            for variant in config.variants
-        ]
+                args=(digest, cell[0], cell[1], config, store_arg),
+                label=f"fig5 {cell[0]}/{cell[1]}-drop (warm)",
+            ),
+            store=store,
+        )
     else:
         specs = [
             TaskSpec(
@@ -242,8 +273,7 @@ def run_figure5(
                 args=(variant, n_drops, config),
                 label=f"fig5 {variant}/{n_drops}-drop",
             )
-            for n_drops in config.drop_counts
-            for variant in config.variants
+            for variant, n_drops in cells
         ]
     result.rows.extend(runner.map(specs))
     return result

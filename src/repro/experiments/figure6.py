@@ -22,12 +22,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import FlowSpec, build_dumbbell_scenario
+from repro.net.packet import set_uid_state
 from repro.sim.engine import Simulator
 from repro.metrics.timeseries import SequenceTrace, SequenceTracer
 from repro.metrics.throughput import effective_throughput_bps
 from repro.net.red import RedParams, RedQueue
 from repro.net.topology import DumbbellParams
-from repro.runner import SweepRunner, TaskSpec
+from repro.runner import (
+    PrefixSpec,
+    SnapshotStore,
+    SweepRunner,
+    TaskSpec,
+    warm_specs,
+)
 from repro.sim.rng import RngStream
 from repro.viz.ascii import ascii_scatter, format_table
 
@@ -41,6 +48,9 @@ class Figure6Config:
     initial_flows: int = 5          # start at t=0
     stagger_seconds: float = 0.5    # "a new TCP flow starts every 0.5 second"
     duration: float = 6.0
+    # Warm-start capture point: all ten flows are up by 2.5 s, so 3 s
+    # freezes the fully-populated system with congestion still ahead.
+    prefix_seconds: float = 3.0
     red: RedParams = field(default_factory=lambda: RedParams())
     seed: int = 7
 
@@ -66,9 +76,16 @@ class Figure6Result:
     flows: Dict[str, Figure6FlowResult] = field(default_factory=dict)
 
 
-def run_variant(variant: str, config: Figure6Config) -> Figure6FlowResult:
-    """Run the ten-flow RED scenario with every flow using ``variant``
-    and return flow 1's dynamics."""
+def prefix_world(variant: str, config: Figure6Config):
+    """Build the ten-flow RED scenario and advance it to the warm-start
+    capture point (``prefix_seconds``).
+
+    Figure 6's cells have nothing to reprogram — the variant is baked
+    into every flow — so the prefix is simply the first few seconds of
+    the run, shared between repeated sweeps (and the cold path, which
+    continues the same world in-process).
+    """
+    set_uid_state(1)
     rng = RngStream(config.seed, f"red-{variant}")
     flows = []
     for i in range(config.n_flows):
@@ -88,6 +105,21 @@ def run_variant(variant: str, config: Figure6Config) -> Figure6FlowResult:
         bottleneck_queue_factory=red_factory,
         sim=sim,
     )
+    scenario.sim.run(until=min(config.prefix_seconds, config.duration))
+    return scenario
+
+
+def prefix_spec(variant: str, config: Figure6Config) -> PrefixSpec:
+    return PrefixSpec(
+        fn="repro.experiments.figure6:prefix_world",
+        args=(variant, config),
+        label=f"fig6 warm prefix {variant}",
+    )
+
+
+def _finish(scenario, variant: str, config: Figure6Config) -> Figure6FlowResult:
+    """Run the remainder of a (possibly warm-started) cell and reduce it
+    to flow 1's dynamics."""
     scenario.sim.run(until=config.duration)
     sender, stats = scenario.flow(1)
     tracer = SequenceTracer(stats)
@@ -109,21 +141,60 @@ def run_variant(variant: str, config: Figure6Config) -> Figure6FlowResult:
     )
 
 
+def run_variant(variant: str, config: Figure6Config) -> Figure6FlowResult:
+    """Run the ten-flow RED scenario with every flow using ``variant``
+    and return flow 1's dynamics."""
+    return _finish(prefix_world(variant, config), variant, config)
+
+
+def run_variant_from_snapshot(
+    digest: str,
+    variant: str,
+    config: Figure6Config,
+    store_root: Optional[str] = None,
+) -> Figure6FlowResult:
+    """Run one cell warm-started from the stored prefix snapshot."""
+    scenario = SnapshotStore(store_root).get(digest).restore(verify=False)
+    return _finish(scenario, variant, config)
+
+
 def run_figure6(
-    config: Optional[Figure6Config] = None, runner: Optional[SweepRunner] = None
+    config: Optional[Figure6Config] = None,
+    runner: Optional[SweepRunner] = None,
+    warm_start: bool = False,
+    store: Optional[SnapshotStore] = None,
 ) -> Figure6Result:
-    """Regenerate all three panels of Figure 6."""
+    """Regenerate all three panels of Figure 6.
+
+    With ``warm_start`` each variant's first ``prefix_seconds`` are
+    simulated once per code version (then replayed from the store) and
+    the cells continue from the frozen worlds — bit-identical rows.
+    """
     config = config or Figure6Config()
     runner = runner or SweepRunner()
     result = Figure6Result(config=config)
-    specs = [
-        TaskSpec(
-            fn="repro.experiments.figure6:run_variant",
-            args=(variant, config),
-            label=f"fig6 {variant}",
+    if warm_start:
+        store = store or SnapshotStore()
+        store_arg = str(store.root)
+        specs = warm_specs(
+            list(config.variants),
+            prefix_for=lambda variant: prefix_spec(variant, config),
+            spec_for=lambda variant, digest: TaskSpec(
+                fn="repro.experiments.figure6:run_variant_from_snapshot",
+                args=(digest, variant, config, store_arg),
+                label=f"fig6 {variant} (warm)",
+            ),
+            store=store,
         )
-        for variant in config.variants
-    ]
+    else:
+        specs = [
+            TaskSpec(
+                fn="repro.experiments.figure6:run_variant",
+                args=(variant, config),
+                label=f"fig6 {variant}",
+            )
+            for variant in config.variants
+        ]
     for variant, flow in zip(config.variants, runner.map(specs)):
         result.flows[variant] = flow
     return result

@@ -8,7 +8,11 @@ the receiver ACKs every packet.  The y-axis is the achieved window
 
 We set one-way propagation so that base RTT = 200 ms and keep the
 bottleneck fast (10 Mb/s) so queueing does not distort RTT — matching
-the model's assumption that RTT is a constant.
+the model's assumption that RTT is a constant.  Losses switch on when
+the ignored start-up phase ends (``loss_start``), so the measured
+window over ``[warmup, duration]`` always sees the loss process while
+the start-up prefix stays loss-free and shared across the whole grid
+(the warm-start contract of :mod:`repro.runner.warmstart`).
 
 Expected shape (paper): both RR and SACK track the bound at small
 loss rates and drop below it at high rates, where retransmission losses
@@ -25,8 +29,15 @@ from repro.config import TcpConfig
 from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.models.mathis import MATHIS_C_ACK_EVERY_PACKET, PAPER_C, mathis_window
 from repro.net.loss import UniformLoss
+from repro.net.packet import set_uid_state
 from repro.net.topology import DumbbellParams
-from repro.runner import SweepRunner, TaskSpec
+from repro.runner import (
+    PrefixSpec,
+    SnapshotStore,
+    SweepRunner,
+    TaskSpec,
+    warm_specs,
+)
 from repro.sim.rng import RngStream
 from repro.viz.ascii import ascii_scatter, format_table
 
@@ -39,6 +50,11 @@ class Figure7Config:
     loss_rates: Sequence[float] = (0.005, 0.01, 0.02, 0.03, 0.05, 0.07, 0.1)
     duration: float = 100.0
     warmup: float = 5.0           # "its start-up phase is ignored"
+    # Uniform losses switch on at ``loss_start`` (= the ignored start-up
+    # phase): the loss-free prefix is then identical for every loss rate
+    # and seed, which is what makes the sweep warm-startable per variant.
+    # The measured window over [warmup, duration] sees losses throughout.
+    loss_start: float = 5.0
     rtt: float = 0.2              # 200 ms
     mss_bytes: int = 1000
     seed: int = 11
@@ -68,11 +84,15 @@ class Figure7Result:
         ]
 
 
-def _measure(variant: str, loss_rate: float, seed: int, config: Figure7Config):
-    # Stream name excludes the variant so RR and SACK face the same
-    # loss realization per seed (paired comparison).
-    rng = RngStream(seed, f"fig7-{loss_rate}")
-    loss = UniformLoss(loss_rate, rng)
+def prefix_world(variant: str, config: Figure7Config):
+    """Build the single-flow world and run its loss-free start-up phase.
+
+    The prefix depends only on the variant — losses (rate *and* seed)
+    switch on at ``loss_start`` via :func:`_measure_from`'s reprogram
+    step — so one frozen world serves the whole
+    ``loss_rates x runs_per_point`` grid.
+    """
+    set_uid_state(1)
     # side 1 ms + bottleneck 97 ms + side 1 ms, doubled ≈ 198 ms; plus
     # transmission/ACK time it comes to ~200 ms.
     params = DumbbellParams(
@@ -87,8 +107,25 @@ def _measure(variant: str, loss_rate: float, seed: int, config: Figure7Config):
         flows=[FlowSpec(variant=variant, amount_packets=None)],
         params=params,
         default_config=tcp_config,
-        forward_loss=loss,
     )
+    scenario.sim.run(until=min(config.loss_start, config.duration))
+    return scenario
+
+
+def prefix_spec(variant: str, config: Figure7Config) -> PrefixSpec:
+    return PrefixSpec(
+        fn="repro.experiments.figure7:prefix_world",
+        args=(variant, config),
+        label=f"fig7 warm prefix {variant}",
+    )
+
+
+def _measure_from(scenario, loss_rate: float, seed: int, config: Figure7Config):
+    """Reprogram the cell's losses onto a prefix world and finish it."""
+    # Stream name excludes the variant so RR and SACK face the same
+    # loss realization per seed (paired comparison).
+    rng = RngStream(seed, f"fig7-{loss_rate}")
+    scenario.dumbbell.forward_link.loss = UniformLoss(loss_rate, rng)
     scenario.sim.run(until=config.duration)
     sender, stats = scenario.flow(1)
     acked = stats.acked_at(config.duration) - stats.acked_at(config.warmup)
@@ -97,14 +134,12 @@ def _measure(variant: str, loss_rate: float, seed: int, config: Figure7Config):
     return window, bw_bps, sender.timeouts
 
 
-def run_point(variant: str, loss_rate: float, config: Figure7Config) -> Figure7Point:
-    """Average ``runs_per_point`` seeds for one (variant, p) point."""
-    windows, bws, timeouts = [], [], []
-    for run in range(config.runs_per_point):
-        window, bw, n_timeouts = _measure(variant, loss_rate, config.seed + run, config)
-        windows.append(window)
-        bws.append(bw)
-        timeouts.append(n_timeouts)
+def _measure(variant: str, loss_rate: float, seed: int, config: Figure7Config):
+    return _measure_from(prefix_world(variant, config), loss_rate, seed, config)
+
+
+def _reduce_point(variant, loss_rate, measurements) -> Figure7Point:
+    windows, bws, timeouts = zip(*measurements)
     n = len(windows)
     return Figure7Point(
         variant=variant,
@@ -116,22 +151,77 @@ def run_point(variant: str, loss_rate: float, config: Figure7Config) -> Figure7P
     )
 
 
+def run_point(variant: str, loss_rate: float, config: Figure7Config) -> Figure7Point:
+    """Average ``runs_per_point`` seeds for one (variant, p) point."""
+    measurements = [
+        _measure(variant, loss_rate, config.seed + run, config)
+        for run in range(config.runs_per_point)
+    ]
+    return _reduce_point(variant, loss_rate, measurements)
+
+
+def run_point_from_snapshot(
+    digest: str,
+    variant: str,
+    loss_rate: float,
+    config: Figure7Config,
+    store_root: Optional[str] = None,
+) -> Figure7Point:
+    """One (variant, p) point with every run restored from the frozen
+    loss-free prefix instead of re-simulating start-up."""
+    snapshot = SnapshotStore(store_root).get(digest)
+    measurements = [
+        _measure_from(
+            snapshot.restore(verify=False), loss_rate, config.seed + run, config
+        )
+        for run in range(config.runs_per_point)
+    ]
+    return _reduce_point(variant, loss_rate, measurements)
+
+
 def run_figure7(
-    config: Optional[Figure7Config] = None, runner: Optional[SweepRunner] = None
+    config: Optional[Figure7Config] = None,
+    runner: Optional[SweepRunner] = None,
+    warm_start: bool = False,
+    store: Optional[SnapshotStore] = None,
 ) -> Figure7Result:
-    """Regenerate Figure 7's sweep."""
+    """Regenerate Figure 7's sweep.
+
+    With ``warm_start`` the loss-free start-up phase is simulated once
+    per variant and all ``loss_rates x runs_per_point`` cells fork the
+    frozen world — bit-identical rows, one prefix per variant for the
+    whole grid.
+    """
     config = config or Figure7Config()
     runner = runner or SweepRunner()
     result = Figure7Result(config=config)
-    specs = [
-        TaskSpec(
-            fn="repro.experiments.figure7:run_point",
-            args=(variant, loss_rate, config),
-            label=f"fig7 {variant}/p={loss_rate}",
-        )
+    cells = [
+        (variant, loss_rate)
         for variant in config.variants
         for loss_rate in config.loss_rates
     ]
+    if warm_start:
+        store = store or SnapshotStore()
+        store_arg = str(store.root)
+        specs = warm_specs(
+            cells,
+            prefix_for=lambda cell: prefix_spec(cell[0], config),
+            spec_for=lambda cell, digest: TaskSpec(
+                fn="repro.experiments.figure7:run_point_from_snapshot",
+                args=(digest, cell[0], cell[1], config, store_arg),
+                label=f"fig7 {cell[0]}/p={cell[1]} (warm)",
+            ),
+            store=store,
+        )
+    else:
+        specs = [
+            TaskSpec(
+                fn="repro.experiments.figure7:run_point",
+                args=(variant, loss_rate, config),
+                label=f"fig7 {variant}/p={loss_rate}",
+            )
+            for variant, loss_rate in cells
+        ]
     result.points.extend(runner.map(specs))
     return result
 

@@ -22,11 +22,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.app.ftp import FtpSource
 from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.metrics.fairness import jain_index
+from repro.metrics.flowstats import FlowStats
+from repro.net.packet import set_uid_state
 from repro.net.topology import DumbbellParams
-from repro.runner import SweepRunner, TaskSpec
+from repro.runner import (
+    PrefixSpec,
+    SnapshotStore,
+    SweepRunner,
+    TaskSpec,
+    warm_specs,
+)
 from repro.sim.rng import RngStream
+from repro.tcp.factory import make_connection
 from repro.viz.ascii import format_table
 
 
@@ -53,6 +63,11 @@ class Table5Config:
     runs_per_case: int = 5
     start_jitter: float = 0.1
     seed: int = 17
+    # Warm-start capture point: the background system is frozen this
+    # many seconds *before* the target starts, leaving room to attach
+    # the target connection (whose FTP source schedules an absolute
+    # start event) while the prefix stays target-agnostic.
+    attach_margin: float = 0.25
 
 
 @dataclass
@@ -74,10 +89,15 @@ class Table5Result:
     rows: List[Table5Row] = field(default_factory=list)
 
 
-def _run_once(
-    target_variant: str, background_variant: str, config: Table5Config, run_index: int
-):
-    """One replication; returns (delay|None, loss, timeouts, rtx, jain)."""
+def prefix_world(background_variant: str, run_index: int, config: Table5Config):
+    """Build the 19-background-flow system (with the target's host pair
+    wired but unused) and run it to just before the target starts.
+
+    The prefix is *target-agnostic*: both target variants of one
+    ``(background, run)`` replication fork the same frozen world and
+    attach their own target connection (:func:`_attach_target`).
+    """
+    set_uid_state(1)
     n_background = config.n_connections - 1
     rng = RngStream(config.seed + run_index, "table5-jitter")
     flows = [
@@ -89,21 +109,60 @@ def _run_once(
         )
         for i in range(n_background)
     ]
-    mss = 1000  # paper MSS; TcpConfig default
-    target_packets = (config.target_bytes + mss - 1) // mss
-    flows.append(
-        FlowSpec(
-            variant=target_variant,
-            start_time=config.target_start,
-            amount_packets=target_packets,
-        )
-    )
     scenario = build_dumbbell_scenario(
         flows=flows,
         params=DumbbellParams(
             n_pairs=config.n_connections, buffer_packets=config.buffer_packets
         ),
     )
+    scenario.sim.run(until=max(config.target_start - config.attach_margin, 0.0))
+    return scenario
+
+
+def prefix_spec(
+    background_variant: str, run_index: int, config: Table5Config
+) -> PrefixSpec:
+    return PrefixSpec(
+        fn="repro.experiments.table5:prefix_world",
+        args=(background_variant, run_index, config),
+        label=f"table5 warm prefix {background_variant}/run{run_index}",
+    )
+
+
+def _attach_target(scenario, target_variant: str, config: Table5Config):
+    """Wire the targeted connection onto host pair ``n_connections`` of
+    a prefix world — the Table-5 reprogram step."""
+    flow_id = config.n_connections
+    mss = 1000  # paper MSS; TcpConfig default
+    target_packets = (config.target_bytes + mss - 1) // mss
+    bell = scenario.dumbbell
+    stats = FlowStats(flow_id=flow_id)
+    stats.watch_drops(bell.net.trace)
+    sender, receiver = make_connection(
+        scenario.sim,
+        target_variant,
+        flow_id,
+        bell.sender(flow_id),
+        bell.receiver(flow_id),
+        config=None,
+        observer=stats,
+        trace=bell.net.trace,
+    )
+    source = FtpSource(
+        scenario.sim,
+        sender,
+        amount_packets=target_packets,
+        start_time=config.target_start,
+    )
+    scenario.senders[flow_id] = sender
+    scenario.receivers[flow_id] = receiver
+    scenario.stats[flow_id] = stats
+    scenario.sources[flow_id] = source
+    return scenario
+
+
+def _finish_replica(scenario, config: Table5Config):
+    """Run an attached replication to the end and measure the target."""
     target_id = config.n_connections
     target_sender = scenario.senders[target_id]
     scenario.sim.run(until=config.sim_duration)
@@ -115,7 +174,7 @@ def _run_once(
         else None
     )
     background_goodputs = [
-        scenario.stats[i].final_ack for i in range(1, n_background + 1)
+        scenario.stats[i].final_ack for i in range(1, config.n_connections)
     ]
     return (
         delay,
@@ -126,14 +185,36 @@ def _run_once(
     )
 
 
-def run_case(target_variant: str, background_variant: str, config: Table5Config) -> Table5Row:
-    """One (target, background) cell of Table 5 (mean of replications)."""
+def run_replica(
+    target_variant: str, background_variant: str, config: Table5Config, run_index: int
+):
+    """One replication; returns (delay|None, loss, timeouts, rtx, jain)."""
+    scenario = _attach_target(
+        prefix_world(background_variant, run_index, config), target_variant, config
+    )
+    return _finish_replica(scenario, config)
+
+
+def run_replica_from_snapshot(
+    digest: str,
+    target_variant: str,
+    background_variant: str,
+    config: Table5Config,
+    run_index: int,
+    store_root: Optional[str] = None,
+):
+    """One replication warm-started from the frozen background system."""
+    scenario = SnapshotStore(store_root).get(digest).restore(verify=False)
+    return _finish_replica(_attach_target(scenario, target_variant, config), config)
+
+
+def _reduce_case(
+    target_variant: str, background_variant: str, config: Table5Config, replicas
+) -> Table5Row:
+    """Aggregate the replications of one (target, background) cell."""
     delays, losses, timeouts, retransmits, jains = [], [], [], [], []
     completed = 0
-    for run_index in range(config.runs_per_case):
-        delay, loss, n_timeouts, n_retransmits, jain = _run_once(
-            target_variant, background_variant, config, run_index
-        )
+    for delay, loss, n_timeouts, n_retransmits, jain in replicas:
         if delay is not None:
             delays.append(delay)
             completed += 1
@@ -141,7 +222,7 @@ def run_case(target_variant: str, background_variant: str, config: Table5Config)
         timeouts.append(n_timeouts)
         retransmits.append(n_retransmits)
         jains.append(jain)
-    n = config.runs_per_case
+    n = len(losses)
     return Table5Row(
         target_variant=target_variant,
         background_variant=background_variant,
@@ -155,22 +236,68 @@ def run_case(target_variant: str, background_variant: str, config: Table5Config)
     )
 
 
+def run_case(target_variant: str, background_variant: str, config: Table5Config) -> Table5Row:
+    """One (target, background) cell of Table 5 (mean of replications)."""
+    replicas = [
+        run_replica(target_variant, background_variant, config, run_index)
+        for run_index in range(config.runs_per_case)
+    ]
+    return _reduce_case(target_variant, background_variant, config, replicas)
+
+
 def run_table5(
-    config: Optional[Table5Config] = None, runner: Optional[SweepRunner] = None
+    config: Optional[Table5Config] = None,
+    runner: Optional[SweepRunner] = None,
+    warm_start: bool = False,
+    store: Optional[SnapshotStore] = None,
 ) -> Table5Result:
-    """Regenerate all four cases of Table 5."""
+    """Regenerate all four cases of Table 5.
+
+    With ``warm_start`` the sweep fans out per *replication* rather
+    than per case: each (background, run) prefix — the chaotic 19-flow
+    build-up — is simulated once and both target variants fork it, so
+    the four-case grid needs ``2 x runs_per_case`` prefixes instead of
+    ``4 x runs_per_case`` warm-ups, and rows stay bit-identical to the
+    cold path.
+    """
     config = config or Table5Config()
     runner = runner or SweepRunner()
     result = Table5Result(config=config)
-    specs = [
-        TaskSpec(
-            fn="repro.experiments.table5:run_case",
-            args=(target_variant, background_variant, config),
-            label=f"table5 {target_variant}/{background_variant}",
+    if warm_start:
+        store = store or SnapshotStore()
+        store_arg = str(store.root)
+        cells = [
+            (target_variant, background_variant, run_index)
+            for target_variant, background_variant in config.cases
+            for run_index in range(config.runs_per_case)
+        ]
+        specs = warm_specs(
+            cells,
+            prefix_for=lambda cell: prefix_spec(cell[1], cell[2], config),
+            spec_for=lambda cell, digest: TaskSpec(
+                fn="repro.experiments.table5:run_replica_from_snapshot",
+                args=(digest, cell[0], cell[1], config, cell[2], store_arg),
+                label=f"table5 {cell[0]}/{cell[1]}s run{cell[2]} (warm)",
+            ),
+            store=store,
         )
-        for target_variant, background_variant in config.cases
-    ]
-    result.rows.extend(runner.map(specs))
+        replicas = runner.map(specs)
+        per_case = config.runs_per_case
+        for case_index, (target_variant, background_variant) in enumerate(config.cases):
+            chunk = replicas[case_index * per_case : (case_index + 1) * per_case]
+            result.rows.append(
+                _reduce_case(target_variant, background_variant, config, chunk)
+            )
+    else:
+        specs = [
+            TaskSpec(
+                fn="repro.experiments.table5:run_case",
+                args=(target_variant, background_variant, config),
+                label=f"table5 {target_variant}/{background_variant}",
+            )
+            for target_variant, background_variant in config.cases
+        ]
+        result.rows.extend(runner.map(specs))
     return result
 
 

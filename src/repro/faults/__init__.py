@@ -23,6 +23,7 @@ from repro.faults.plan import (
     TimerSkew,
 )
 from repro.faults.tamper import PacketTamperer
+from repro.faults.triage import TriageResult, neutralize_faults, triage_crash
 
 __all__ = [
     "AckLossEpisode",
@@ -40,4 +41,7 @@ __all__ = [
     "PeriodicDropEpisode",
     "RouterBlackout",
     "TimerSkew",
+    "TriageResult",
+    "neutralize_faults",
+    "triage_crash",
 ]

@@ -5,6 +5,8 @@ from repro.metrics.flowstats import FlowStats, RecoveryEpisode
 from repro.metrics.throughput import (
     effective_throughput_bps,
     goodput_bps,
+    loss_recovery_span,
+    loss_recovery_throughput,
     recovery_span_throughput,
 )
 from repro.metrics.fairness import jain_index
@@ -37,6 +39,8 @@ __all__ = [
     "RecoveryEpisode",
     "goodput_bps",
     "effective_throughput_bps",
+    "loss_recovery_span",
+    "loss_recovery_throughput",
     "recovery_span_throughput",
     "jain_index",
     "SequenceTracer",

@@ -12,11 +12,20 @@ from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.fingerprint import code_fingerprint, package_root
 from repro.runner.pool import SweepRunner, SweepStats, default_jobs, run_tasks
 from repro.runner.spec import TaskSpec, canonicalize, resolve
-from repro.runner.warmstart import SNAPSHOT_SUBDIR, SnapshotStore
+from repro.runner.warmstart import (
+    PREFIX_INDEX_SUBDIR,
+    PrefixSpec,
+    SNAPSHOT_SUBDIR,
+    SnapshotStore,
+    step_until,
+    warm_specs,
+)
 
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "PREFIX_INDEX_SUBDIR",
+    "PrefixSpec",
     "ResultCache",
     "SNAPSHOT_SUBDIR",
     "SnapshotStore",
@@ -29,4 +38,6 @@ __all__ = [
     "package_root",
     "resolve",
     "run_tasks",
+    "step_until",
+    "warm_specs",
 ]

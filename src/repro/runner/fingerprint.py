@@ -1,16 +1,28 @@
-"""Code fingerprint: one hash over the whole ``repro`` source tree.
+"""Code fingerprint: one hash over everything that defines a result.
 
 The result cache keys every entry by ``(task digest, code
 fingerprint)`` so that *any* source edit invalidates *all* cached
 results — coarse, but safe: a cached cell can never survive a change
 to the code that produced it, and an unrelated edit elsewhere on the
-machine (docs, tests, scripts) costs nothing because only files under
-the installed ``repro`` package participate.
+machine (docs, most tests, scripts) costs nothing because only the
+inputs below participate:
 
-The walk hashes every ``*.py`` under the package root as
-``relative-path + NUL + content`` pairs in sorted path order, so both
-renames and edits change the fingerprint.  Computing it costs a few
-milliseconds; it is memoized per process.
+* every ``*.py`` under the installed ``repro`` package, hashed as
+  ``relative-path + NUL + content`` pairs in sorted path order (so
+  both renames and edits change the fingerprint);
+* the snapshot/digest format constants (``SNAPSHOT_FORMAT``,
+  ``DELTA_FORMAT``, ``DIGEST_VERSION``) — warm-started cells embed
+  snapshot digests, and a format bump changes what those digests mean
+  even when no ``repro`` source under the walk changed (e.g. an
+  editable install pointing at a different checkout);
+* the committed golden state digests
+  (``tests/golden/state_digests.json``), when present — refreshing the
+  goldens via ``scripts/update_golden.py`` declares "behaviour
+  intentionally changed", and stale cached rows must not outlive that
+  declaration.
+
+Computing the fingerprint costs a few milliseconds; it is memoized per
+process.
 """
 
 from __future__ import annotations
@@ -27,8 +39,15 @@ def package_root() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
+def golden_digests_path(root: Optional[Path] = None) -> Path:
+    """The committed golden-state digests for the checkout ``root``
+    belongs to (``<repo>/tests/golden/state_digests.json``)."""
+    root = Path(root) if root is not None else package_root()
+    return root.resolve().parents[1] / "tests" / "golden" / "state_digests.json"
+
+
 def code_fingerprint(root: Optional[Path] = None) -> str:
-    """SHA-256 over every ``*.py`` below ``root`` (default: ``repro``)."""
+    """SHA-256 over the cache-relevant inputs (see module docstring)."""
     root = Path(root) if root is not None else package_root()
     key = str(root)
     cached = _CACHE.get(key)
@@ -41,6 +60,19 @@ def code_fingerprint(root: Optional[Path] = None) -> str:
         digest.update(str(path.relative_to(root)).encode("utf-8"))
         digest.update(b"\0")
         digest.update(path.read_bytes())
+        digest.update(b"\0")
+    # Imported lazily: repro.snapshot pulls in experiment modules for
+    # the golden scenarios, which in turn import repro.runner.
+    from repro.snapshot import DELTA_FORMAT, DIGEST_VERSION, SNAPSHOT_FORMAT
+
+    digest.update(
+        f"formats:{SNAPSHOT_FORMAT}.{DELTA_FORMAT}.{DIGEST_VERSION}".encode("utf-8")
+    )
+    digest.update(b"\0")
+    golden = golden_digests_path(root)
+    if golden.exists():
+        digest.update(b"golden\0")
+        digest.update(golden.read_bytes())
         digest.update(b"\0")
     result = digest.hexdigest()
     _CACHE[key] = result

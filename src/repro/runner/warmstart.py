@@ -1,34 +1,137 @@
-"""Digest-keyed on-disk snapshot store for warm-started sweeps.
+"""Warm-started sweeps: the prefix/reprogram contract plus the store.
+
+Many of the paper's grids share an identical *prefix* — the slow-start
+ramp before the first engineered loss, the background-flow build-up
+before a target flow attaches — and only diverge afterwards.  The
+warm-start contract splits every such harness cell into two named,
+picklable pieces:
+
+* a **prefix spec** (:class:`PrefixSpec`) — a task spec whose callable
+  builds a world *and advances it to the capture point*, returning it.
+  Equal prefixes have equal spec digests, so the store captures each
+  prefix once per code version (see :meth:`SnapshotStore.ensure_prefix`)
+  no matter how many cells — or sweeps — fork it;
+* a **reprogram step** — the cell-side top-level function that restores
+  the frozen prefix, applies the cell's own divergence (reprogram a
+  loss module, attach the target flow, swap an ACK-loss rate) and runs
+  the remainder.
+
+The determinism contract mirrors the runner's: the *cold* path of a
+warm-startable harness runs the exact same build + advance + reprogram
+sequence without the snapshot round-trip, so warm rows are bit-identical
+to cold rows (the engine's serial counter and the packet-uid counter
+both survive the pickle).  :func:`warm_specs` is the sweep-side glue:
+group cells by prefix digest, ensure each prefix exists in the store,
+and emit the per-cell task specs.
 
 Worlds cannot ride inside a :class:`~repro.runner.spec.TaskSpec` (specs
-carry only canonically-hashable primitives, by design), so a sweep that
-wants every cell to start from one warmed-up simulation shares it
-through this store instead: the coordinating process captures once and
-``put``s the snapshot, and each worker cell receives just the digest
-string in its spec and ``get``s the frozen world back.  The digest is
-content-derived (the canonical state digest of the captured world), so
-a cell's cache identity automatically changes when the warm-up prefix
-it continues from changes.
+carry only canonically-hashable primitives, by design), so cells share
+the frozen prefix through the :class:`SnapshotStore`: the coordinating
+process captures once and ``put``s the snapshot, and each worker cell
+receives just the digest string in its spec and ``get``s the frozen
+world back.  The digest is content-derived (the canonical state digest
+of the captured world), so a cell's cache identity automatically
+changes when the warm-up prefix it continues from changes.
 
 Files live under ``<cache root>/snapshots/<digest>.snap`` — next to the
 result cache, governed by the same ``REPRO_CACHE_DIR`` override — and
 are written atomically (tmp + ``os.replace``) so concurrent sweeps
-never observe a torn snapshot.
+never observe a torn snapshot.  :meth:`SnapshotStore.put_delta` stores
+a fork as a :class:`~repro.snapshot.delta.DeltaSnapshot` against its
+base (``<digest>.delta``), falling back to a full ``.snap`` when the
+diff would not save space; :meth:`SnapshotStore.get` resolves either
+transparently.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import SnapshotError
 from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+from repro.runner.spec import TaskSpec
 from repro.snapshot import Snapshot, SnapshotInfo
+from repro.snapshot.delta import DeltaInfo, DeltaSnapshot, should_fall_back
 
 #: Subdirectory of the cache root that holds snapshots.
 SNAPSHOT_SUBDIR = "snapshots"
+
+#: Subdirectory (inside the store root) mapping prefix-spec digests to
+#: snapshot digests, per code fingerprint.
+PREFIX_INDEX_SUBDIR = "prefix-index"
+
+#: Safety bound on ``.delta`` base chains (a delta whose base is itself
+#: a delta, etc.).  Forks diff against full prefixes in practice, so
+#: anything deeper than this is a store corruption, not a design.
+MAX_DELTA_CHAIN = 8
+
+
+class PrefixSpec(TaskSpec):
+    """A :class:`TaskSpec` whose callable builds a world **and advances
+    it to its capture point**, returning the world.
+
+    The callable must be deterministic in the spec's arguments (same
+    rule as any task spec) and must leave the engine between events so
+    the world is capturable.  :meth:`capture` runs it and freezes the
+    result.
+    """
+
+    def capture(self, label: str = "") -> Snapshot:
+        world = self.run()
+        return Snapshot.capture(world, label=label or self.describe())
+
+
+def step_until(
+    sim,
+    predicate: Callable[[], bool],
+    step: float = 0.02,
+    deadline: Optional[float] = None,
+) -> bool:
+    """Advance ``sim`` in ``step``-second increments until ``predicate()``
+    holds (returns True) or ``deadline`` (absolute sim time) passes
+    (returns False).
+
+    This is the prefix-builder's stepping loop: run close to — but
+    provably short of — a divergence point that is defined by *state*
+    (a sender's highest transmitted sequence) rather than by a known
+    wall time.  Callers pick ``step`` smaller than the state's growth
+    per check so the loop cannot overshoot.
+    """
+    while not predicate():
+        if deadline is not None and sim.now >= deadline:
+            return False
+        sim.run(until=sim.now + step)
+    return True
+
+
+def warm_specs(
+    cells: Sequence,
+    prefix_for: Callable[..., PrefixSpec],
+    spec_for: Callable[..., TaskSpec],
+    store: "SnapshotStore",
+    fingerprint: Optional[str] = None,
+) -> List[TaskSpec]:
+    """Build the warm task specs for a sweep.
+
+    ``prefix_for(cell)`` names each cell's shared prefix; cells whose
+    prefix specs have equal digests share one capture.  Each distinct
+    prefix is ensured in ``store`` (captured at most once per code
+    version), then ``spec_for(cell, digest)`` emits the cell's task
+    spec carrying the snapshot digest.
+    """
+    digests: Dict[str, str] = {}
+    specs: List[TaskSpec] = []
+    for cell in cells:
+        prefix = prefix_for(cell)
+        key = prefix.digest()
+        if key not in digests:
+            digests[key] = store.ensure_prefix(prefix, fingerprint=fingerprint)
+        specs.append(spec_for(cell, digests[key]))
+    return specs
 
 
 class SnapshotStore:
@@ -43,11 +146,18 @@ class SnapshotStore:
     def path_for(self, digest: str) -> Path:
         return self.root / f"{digest}.snap"
 
-    def contains(self, digest: str) -> bool:
-        return self.path_for(digest).exists()
+    def delta_path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.delta"
 
+    def contains(self, digest: str) -> bool:
+        return self.path_for(digest).exists() or self.delta_path_for(digest).exists()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
     def put(self, snapshot: Snapshot) -> str:
-        """Persist ``snapshot``; returns its digest (the retrieval key).
+        """Persist ``snapshot`` in full; returns its digest (the
+        retrieval key).
 
         Idempotent: an existing file for the same digest is left alone
         (content-addressed, so it is byte-equivalent for all readers).
@@ -56,11 +166,33 @@ class SnapshotStore:
         path = self.path_for(digest)
         if path.exists():
             return digest
+        self._atomic_write(path, snapshot.save)
+        return digest
+
+    def put_delta(self, snapshot: Snapshot, base_digest: str) -> str:
+        """Persist ``snapshot`` as a delta against the stored snapshot
+        ``base_digest``; returns the snapshot's digest.
+
+        Falls back to a full ``.snap`` when the delta would not be
+        smaller (genuinely divergent worlds) — callers never need to
+        care which representation won; :meth:`get` resolves both.
+        """
+        digest = snapshot.digest
+        if self.contains(digest):
+            return digest
+        base = self.get(base_digest)
+        delta = DeltaSnapshot.diff(snapshot, base)
+        if should_fall_back(delta, snapshot):
+            return self.put(snapshot)
+        self._atomic_write(self.delta_path_for(digest), delta.save)
+        return digest
+
+    def _atomic_write(self, path: Path, save: Callable[[str], Path]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         os.close(fd)
         try:
-            snapshot.save(tmp_name)
+            save(tmp_name)
             os.replace(tmp_name, path)
         except OSError:
             try:
@@ -68,17 +200,90 @@ class SnapshotStore:
             except OSError:
                 pass
             raise
-        return digest
 
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
     def get(self, digest: str) -> Snapshot:
-        path = self.path_for(digest)
-        if not path.exists():
-            raise SnapshotError(
-                f"no snapshot {digest[:12]}… in {self.root} — the warm-up "
-                "capture must run (and put) before the sweep cells execute"
-            )
-        return Snapshot.load(path)
+        return self._get(digest, depth=0)
 
-    def info(self, digest: str) -> SnapshotInfo:
-        """Header metadata without reading the payload."""
-        return Snapshot.read_info(self.path_for(digest))
+    def _get(self, digest: str, depth: int) -> Snapshot:
+        path = self.path_for(digest)
+        if path.exists():
+            return Snapshot.load(path)
+        delta_path = self.delta_path_for(digest)
+        if delta_path.exists():
+            if depth >= MAX_DELTA_CHAIN:
+                raise SnapshotError(
+                    f"delta chain deeper than {MAX_DELTA_CHAIN} resolving "
+                    f"{digest[:12]}… — the store is corrupted or cyclic"
+                )
+            delta = DeltaSnapshot.load(delta_path)
+            base = self._get(delta.info.base_digest, depth + 1)
+            return delta.rebuild(base)
+        raise SnapshotError(
+            f"no snapshot {digest[:12]}… in {self.root} — the warm-up "
+            "capture must run (and put) before the sweep cells execute"
+        )
+
+    def info(self, digest: str) -> Union[SnapshotInfo, DeltaInfo]:
+        """Header metadata without reading the payload (full or delta)."""
+        path = self.path_for(digest)
+        if path.exists():
+            return Snapshot.read_info(path)
+        delta_path = self.delta_path_for(digest)
+        if delta_path.exists():
+            return DeltaSnapshot.read_info(delta_path)
+        raise SnapshotError(f"no snapshot {digest[:12]}… in {self.root}")
+
+    # ------------------------------------------------------------------
+    # prefix index
+    # ------------------------------------------------------------------
+    def ensure_prefix(
+        self, spec: PrefixSpec, fingerprint: Optional[str] = None
+    ) -> str:
+        """Return the snapshot digest of ``spec``'s captured prefix,
+        capturing (and storing) it only when no current capture exists.
+
+        The index maps ``(prefix-spec digest, code fingerprint)`` to a
+        snapshot digest: the snapshot digest itself is unknowable before
+        simulating the prefix, so without the index every sweep would
+        re-simulate it just to learn the key.  Keying by code
+        fingerprint keeps the mapping honest across source changes —
+        the same staleness rule the result cache applies.
+        """
+        if fingerprint is None:
+            from repro.runner.fingerprint import code_fingerprint
+
+            fingerprint = code_fingerprint()
+        index_path = (
+            self.root
+            / PREFIX_INDEX_SUBDIR
+            / fingerprint[:16]
+            / f"{spec.digest()}.json"
+        )
+        if index_path.exists():
+            try:
+                entry = json.loads(index_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                entry = None
+            if entry and self.contains(entry.get("snapshot", "")):
+                return entry["snapshot"]
+        snapshot = spec.capture()
+        digest = self.put(snapshot)
+        index_path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=index_path.parent, suffix=".tmp")
+        os.close(fd)
+        try:
+            Path(tmp_name).write_text(
+                json.dumps({"snapshot": digest, "spec": spec.canonical()}),
+                encoding="utf-8",
+            )
+            os.replace(tmp_name, index_path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return digest

@@ -59,7 +59,13 @@ class FlowSnapshot:
 
 @dataclass
 class CrashReport:
-    """Structured result of a watchdog abort."""
+    """Structured result of a watchdog abort.
+
+    ``snapshot_digest`` / ``triage`` are attached after the fact by
+    harnesses that freeze the crash point and bisect it (see
+    :func:`repro.faults.triage.triage_crash`); they stay ``None`` for
+    plain watchdog aborts.
+    """
 
     reason: str                 # "stall" | "event-storm" | "event-rate" | "wallclock"
     message: str
@@ -68,6 +74,8 @@ class CrashReport:
     stalled_flows: List[int] = field(default_factory=list)
     flows: List[FlowSnapshot] = field(default_factory=list)
     last_events: List[TraceRecord] = field(default_factory=list)
+    snapshot_digest: Optional[str] = None
+    triage: Optional[object] = None   # repro.faults.triage.TriageResult
 
     def format(self) -> str:
         lines = [
@@ -85,6 +93,10 @@ class CrashReport:
                 lines.append(
                     f"    t={rec.time:.6f} {rec.category:<20} {rec.source:<16} {rec.fields}"
                 )
+        if self.snapshot_digest is not None:
+            lines.append(f"  crash snapshot: {self.snapshot_digest}")
+        if self.triage is not None:
+            lines.append("  " + self.triage.format().replace("\n", "\n  "))
         return "\n".join(lines)
 
 

@@ -10,6 +10,7 @@ both the restore integrity check and the golden-state regression layer
 """
 
 from repro.snapshot.core import SNAPSHOT_FORMAT, Snapshot, SnapshotInfo
+from repro.snapshot.delta import DELTA_FORMAT, DeltaInfo, DeltaSnapshot
 from repro.snapshot.digest import DIGEST_VERSION, state_digest, state_fingerprints
 from repro.snapshot.golden import (
     CHECKPOINT_TIMES,
@@ -21,7 +22,10 @@ from repro.snapshot.golden import (
 
 __all__ = [
     "CHECKPOINT_TIMES",
+    "DELTA_FORMAT",
     "DIGEST_VERSION",
+    "DeltaInfo",
+    "DeltaSnapshot",
     "GOLDEN_VARIANTS",
     "SNAPSHOT_FORMAT",
     "Snapshot",

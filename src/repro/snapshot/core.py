@@ -19,6 +19,17 @@ produces the same trace, FlowStats series and final state digest as
 ``w`` run to the end uninterrupted.  Capture itself never perturbs the
 world (it only reads).
 
+Since format 2 the payload is *sectioned*: one :class:`pickle.Pickler`
+(so the memo — and therefore cross-section object identity — is
+shared) emits a sequence of named dumps, and the header records each
+section's byte length.  Unpickling the concatenation through a single
+:class:`pickle.Unpickler` reconstructs the identical graph, so
+sectioning changes the byte layout but never the semantics.  The point
+of the exercise is :mod:`repro.snapshot.delta`: two snapshots of
+near-identical worlds (a warm prefix and a reprogrammed per-cell fork,
+a crash point and its triage forks) share most sections byte for byte,
+and a delta stores only what changed.
+
 One sharp edge follows from the packet-uid counter being process
 global: *restoring rewinds it.*  After a restore, the original world
 object — if you kept it — would mint uids the continuation is also
@@ -29,11 +40,12 @@ the pattern explicit.
 
 from __future__ import annotations
 
+import io
 import json
 import pickle
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SnapshotError
 from repro.net.packet import set_uid_state, uid_state
@@ -41,9 +53,26 @@ from repro.sim.engine import Simulator
 from repro.snapshot.digest import state_digest
 
 #: On-disk format version (bump on incompatible layout changes).
-SNAPSHOT_FORMAT = 1
+#: 1 — single ``{"world", "uid_next"}`` pickle; 2 — sectioned payload
+#: (shared-memo multi-dump stream + section table in the header).
+SNAPSHOT_FORMAT = 2
 
 _MAGIC = "repro-snapshot"
+
+#: Section holding the packet-uid counter (always first).
+UID_SECTION = "__uid__"
+
+#: Section holding the world object itself (always last).  Pickled
+#: after the attribute sections, it resolves almost entirely to memo
+#: references — the attribute sections carry the actual object graph.
+WORLD_SECTION = "__world__"
+
+#: Preferred order of world attributes in the section stream: stable,
+#: data-heavy attributes first so a per-cell fork's delta (which
+#: mutates link/loss state) shares the longest possible byte prefix
+#: with its base snapshot.  Attributes not listed follow in the
+#: world's own ``__dict__`` order.
+_SECTION_ORDER = ("stats", "receivers", "sources", "senders", "dumbbell", "sim")
 
 
 @dataclass(frozen=True)
@@ -55,6 +84,47 @@ class SnapshotInfo:
     events_processed: int
     label: str
     format: int = SNAPSHOT_FORMAT
+    #: ``(name, nbytes)`` per payload section, in stream order.
+    sections: Tuple[Tuple[str, int], ...] = ()
+
+
+def _default_getstate(cls: type):
+    """The inherited-from-object ``__getstate__`` (absent before 3.11)."""
+    return getattr(cls, "__getstate__", None)
+
+
+_OBJECT_GETSTATE = getattr(object, "__getstate__", None)
+
+
+def _sectionable(world: Any) -> bool:
+    """True when ``world``'s attributes can be pickled as individual
+    sections: a plain ``__dict__`` carrier with no custom pickling
+    protocol (a dataclass like ``ScenarioResult``).  Anything with a
+    custom ``__getstate__``/``__reduce__`` (e.g. a bare
+    :class:`Simulator`) is stored as a single world section instead —
+    its canonicalization must run exactly once, at first reach."""
+    cls = type(world)
+    if getattr(cls, "__reduce__", None) is not object.__reduce__:
+        return False
+    if getattr(cls, "__reduce_ex__", None) is not object.__reduce_ex__:
+        return False
+    if _default_getstate(cls) is not _OBJECT_GETSTATE:
+        return False
+    if getattr(cls, "__setstate__", None) is not None:
+        return False
+    state = getattr(world, "__dict__", None)
+    return isinstance(state, dict) and bool(state)
+
+
+def _section_items(world: Any) -> List[Tuple[str, Any]]:
+    """The ``(name, value)`` attribute sections for ``world`` (may be
+    empty), ordered stable-first per ``_SECTION_ORDER``."""
+    if not _sectionable(world):
+        return []
+    state: Dict[str, Any] = world.__dict__
+    ordered = [name for name in _SECTION_ORDER if name in state]
+    ordered += [name for name in state if name not in _SECTION_ORDER]
+    return [(f"attr:{name}", state[name]) for name in ordered]
 
 
 class Snapshot:
@@ -76,6 +146,20 @@ class Snapshot:
     @property
     def nbytes(self) -> int:
         return len(self._payload)
+
+    @property
+    def payload(self) -> bytes:
+        """The raw sectioned pickle stream (the delta layer diffs it)."""
+        return self._payload
+
+    def section_bytes(self) -> Dict[str, bytes]:
+        """Per-section payload slices, in stream order."""
+        out: Dict[str, bytes] = {}
+        offset = 0
+        for name, nbytes in self.info.sections:
+            out[name] = self._payload[offset : offset + nbytes]
+            offset += nbytes
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -104,11 +188,20 @@ class Snapshot:
                 "run() calls (e.g. after sim.run(until=T) returns)"
             )
         digest = state_digest(world)
+        stream = io.BytesIO()
+        pickler = pickle.Pickler(stream, protocol=pickle.HIGHEST_PROTOCOL)
+        sections: List[Tuple[str, int]] = []
+
+        def dump(name: str, value: Any) -> None:
+            start = stream.tell()
+            pickler.dump(value)
+            sections.append((name, stream.tell() - start))
+
         try:
-            payload = pickle.dumps(
-                {"world": world, "uid_next": uid_state()},
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+            dump(UID_SECTION, uid_state())
+            for name, value in _section_items(world):
+                dump(name, value)
+            dump(WORLD_SECTION, world)
         except Exception as exc:
             raise SnapshotError(
                 f"world is not picklable: {type(exc).__name__}: {exc} "
@@ -120,8 +213,9 @@ class Snapshot:
             sim_time=sim.now,
             events_processed=sim.events_processed,
             label=label,
+            sections=tuple(sections),
         )
-        return cls(payload, info)
+        return cls(stream.getvalue(), info)
 
     @staticmethod
     def _find_sim(world: Any) -> Simulator:
@@ -138,6 +232,23 @@ class Snapshot:
     # ------------------------------------------------------------------
     # restore / fork
     # ------------------------------------------------------------------
+    def _unpickle(self) -> Dict[str, Any]:
+        """Load every section through one unpickler (shared memo)."""
+        stream = io.BytesIO(self._payload)
+        unpickler = pickle.Unpickler(stream)
+        values: Dict[str, Any] = {}
+        try:
+            for name, _ in self.info.sections:
+                values[name] = unpickler.load()
+        except Exception as exc:
+            raise SnapshotError(f"snapshot payload does not unpickle: {exc}") from exc
+        if UID_SECTION not in values or WORLD_SECTION not in values:
+            raise SnapshotError(
+                "snapshot payload is missing its uid/world sections — "
+                "truncated file or header drift"
+            )
+        return values
+
     def restore(self, verify: bool = True) -> Any:
         """Materialize an independent copy of the captured world.
 
@@ -155,11 +266,8 @@ class Snapshot:
                 f"snapshot format {self.info.format} is not supported "
                 f"(this build reads format {SNAPSHOT_FORMAT})"
             )
-        try:
-            data = pickle.loads(self._payload)
-        except Exception as exc:
-            raise SnapshotError(f"snapshot payload does not unpickle: {exc}") from exc
-        world = data["world"]
+        values = self._unpickle()
+        world = values[WORLD_SECTION]
         if verify:
             digest = state_digest(world)
             if digest != self.info.digest:
@@ -168,14 +276,15 @@ class Snapshot:
                     f"captured {self.info.digest[:12]}… — payload corrupted "
                     "or digest encoding drifted"
                 )
-        set_uid_state(data["uid_next"])
+        set_uid_state(values[UID_SECTION])
         return world
 
     @property
     def uid_next(self) -> int:
         """The captured packet-uid position (what :meth:`restore` rewinds
         to).  Exposed so in-process forks can re-rewind between runs."""
-        return pickle.loads(self._payload)["uid_next"]
+        # The uid section is always first, so one load suffices.
+        return pickle.Unpickler(io.BytesIO(self._payload)).load()
 
     def fork(
         self,
@@ -264,4 +373,8 @@ class Snapshot:
             events_processed=header["events_processed"],
             label=header.get("label", ""),
             format=fmt,
+            sections=tuple(
+                (str(name), int(nbytes))
+                for name, nbytes in header.get("sections", [])
+            ),
         )

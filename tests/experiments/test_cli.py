@@ -77,7 +77,7 @@ class TestSnapshotSubcommand:
 
         assert main(["snapshot", "inspect", str(path)]) == 0
         out = capsys.readouterr().out
-        assert "format 1" in out
+        assert "format 2" in out
         assert "t=2" in out
 
         assert main([

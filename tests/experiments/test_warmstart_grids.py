@@ -1,0 +1,60 @@
+"""Warm-started sweeps are bit-identical to cold ones, per grid.
+
+figure5's warm path is covered in tests/snapshot/test_fork.py; this
+module covers the other four harnesses that adopted the
+:mod:`repro.runner.warmstart` contract, each with a trimmed grid.
+"""
+
+import pytest
+
+from repro.experiments.ackloss import AckLossConfig, run_ackloss
+from repro.experiments.figure6 import Figure6Config, run_figure6
+from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.experiments.table5 import Table5Config, run_table5
+from repro.runner import SnapshotStore, SweepRunner
+
+FIG6 = Figure6Config(variants=("newreno", "rr"), duration=4.0)
+FIG7 = Figure7Config(
+    variants=("rr",), loss_rates=(0.02, 0.05), duration=15.0, runs_per_point=2
+)
+TAB5 = Table5Config(cases=(("reno", "rr"),), runs_per_case=2, sim_duration=20.0)
+ACK = AckLossConfig(
+    variants=("rr",),
+    ack_loss_rates=(0.0, 0.2),
+    runs_per_point=2,
+    transfer_packets=300,
+    sim_duration=30.0,
+)
+
+GRIDS = [
+    ("figure6", run_figure6, FIG6, lambda r: r.flows),
+    ("figure7", run_figure7, FIG7, lambda r: r.points),
+    ("table5", run_table5, TAB5, lambda r: r.rows),
+    ("ackloss", run_ackloss, ACK, lambda r: r.rows),
+]
+
+
+@pytest.mark.parametrize(
+    "run_fn,config,rows_of",
+    [grid[1:] for grid in GRIDS],
+    ids=[grid[0] for grid in GRIDS],
+)
+def test_warm_matches_cold(tmp_path, run_fn, config, rows_of):
+    cold = run_fn(config, runner=SweepRunner())
+    store = SnapshotStore(tmp_path / "snaps")
+    warm = run_fn(config, runner=SweepRunner(), warm_start=True, store=store)
+    assert rows_of(warm) == rows_of(cold)
+    # Replay through the prefix index (no recapture) stays identical.
+    replay = run_fn(config, runner=SweepRunner(), warm_start=True, store=store)
+    assert rows_of(replay) == rows_of(cold)
+
+
+def test_parallel_warm_matches_serial(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps")
+    serial = run_figure7(
+        FIG7, runner=SweepRunner(jobs=1), warm_start=True, store=store
+    )
+    parallel = run_figure7(
+        FIG7, runner=SweepRunner(jobs=2), warm_start=True, store=store
+    )
+    assert parallel.points == serial.points

@@ -78,3 +78,18 @@ class TestCodeFingerprint:
     def test_repo_fingerprint_is_memoized_and_stable(self):
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 64
+
+    def test_golden_digest_change_changes_fingerprint(self, tmp_path):
+        # Refreshing tests/golden/state_digests.json declares "behaviour
+        # intentionally changed" and must invalidate cached results even
+        # though no .py under the package root changed.
+        roots = []
+        for name, body in [("one", '{"reno": "a"}'), ("two", '{"reno": "b"}')]:
+            root = tmp_path / name / "src" / "repro"
+            root.mkdir(parents=True)
+            (root / "a.py").write_text("x = 1\n")
+            golden = tmp_path / name / "tests" / "golden"
+            golden.mkdir(parents=True)
+            (golden / "state_digests.json").write_text(body)
+            roots.append(root)
+        assert code_fingerprint(roots[0]) != code_fingerprint(roots[1])

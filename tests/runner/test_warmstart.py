@@ -1,0 +1,147 @@
+"""The warm-start contract: prefix specs, the prefix index, delta
+storage in the snapshot store."""
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.runner import PrefixSpec, SnapshotStore, step_until, warm_specs
+from repro.runner.spec import TaskSpec
+from repro.snapshot import Snapshot
+from repro.snapshot.delta import DeltaInfo
+from repro.snapshot.golden import build_golden_scenario
+
+
+class CountingPrefix(PrefixSpec):
+    """Counts how many times any instance actually simulates."""
+
+    captures = 0
+
+    def capture(self, label=""):
+        type(self).captures += 1
+        return super().capture(label)
+
+
+def _prefix(variant="reno"):
+    return CountingPrefix(
+        fn="repro.snapshot.golden:build_golden_scenario",
+        args=(variant,),
+        label=f"golden prefix {variant}",
+    )
+
+
+def _snapshot(variant="reno", until=1.0):
+    world = build_golden_scenario(variant)
+    world.sim.run(until=until)
+    return Snapshot.capture(world, label=f"{variant}@{until:g}")
+
+
+class TestStepUntil:
+    def test_stops_when_predicate_holds(self):
+        world = build_golden_scenario("reno")
+        sender = world.senders[1]
+        assert step_until(world.sim, lambda: sender.maxseq >= 10, deadline=30.0)
+        assert sender.maxseq >= 10
+
+    def test_gives_up_at_deadline(self):
+        world = build_golden_scenario("reno")
+        assert not step_until(world.sim, lambda: False, step=0.5, deadline=2.0)
+        assert world.sim.now >= 2.0
+
+
+class TestEnsurePrefix:
+    def test_captures_once_per_spec(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        before = CountingPrefix.captures
+        first = store.ensure_prefix(_prefix(), fingerprint="a" * 64)
+        second = store.ensure_prefix(_prefix(), fingerprint="a" * 64)
+        assert first == second
+        assert CountingPrefix.captures == before + 1
+        assert store.contains(first)
+
+    def test_recaptures_under_a_new_fingerprint(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        before = CountingPrefix.captures
+        store.ensure_prefix(_prefix(), fingerprint="a" * 64)
+        store.ensure_prefix(_prefix(), fingerprint="b" * 64)
+        assert CountingPrefix.captures == before + 2
+
+    def test_stale_index_entry_recaptures(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        digest = store.ensure_prefix(_prefix(), fingerprint="a" * 64)
+        store.path_for(digest).unlink()
+        again = store.ensure_prefix(_prefix(), fingerprint="a" * 64)
+        assert again == digest
+        assert store.contains(digest)
+
+
+class TestWarmSpecs:
+    def test_cells_share_prefix_captures(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        cells = [("reno", 1), ("reno", 2), ("sack", 1)]
+        before = CountingPrefix.captures
+        specs = warm_specs(
+            cells,
+            prefix_for=lambda cell: _prefix(cell[0]),
+            spec_for=lambda cell, digest: TaskSpec(
+                fn="repro.models.mathis:mathis_window",
+                args=(0.02,),
+                kwargs={"digest": digest, "cell": cell},
+            ),
+            store=store,
+            fingerprint="a" * 64,
+        )
+        assert CountingPrefix.captures == before + 2  # one per variant
+        assert len(specs) == len(cells)
+        digests = [spec.kwargs["digest"] for spec in specs]
+        assert digests[0] == digests[1] != digests[2]
+        assert all(store.contains(d) for d in digests)
+
+
+class TestPutDelta:
+    def test_fork_stored_as_delta_and_resolved(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        world = build_golden_scenario("rr")
+        world.sim.run(until=2.0)
+        base = Snapshot.capture(world, label="base")
+        store.put(base)
+        world.sim.run(until=6.0)
+        fork = Snapshot.capture(world, label="fork")
+        digest = store.put_delta(fork, base_digest=base.digest)
+        assert digest == fork.digest
+        assert store.delta_path_for(digest).exists()
+        assert not store.path_for(digest).exists()
+        assert store.get(digest).payload == fork.payload
+        info = store.info(digest)
+        assert isinstance(info, DeltaInfo)
+        assert info.base_digest == base.digest
+
+    def test_falls_back_to_full_when_delta_would_not_win(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.runner.warmstart as warmstart
+
+        monkeypatch.setattr(warmstart, "should_fall_back", lambda *a: True)
+        store = SnapshotStore(tmp_path)
+        base = _snapshot(until=2.0)
+        store.put(base)
+        fork = _snapshot(until=6.0)
+        store.put_delta(fork, base_digest=base.digest)
+        assert store.path_for(fork.digest).exists()
+        assert not store.delta_path_for(fork.digest).exists()
+
+    def test_delta_chains_resolve(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        world = build_golden_scenario("newreno")
+        snapshots = []
+        for until in (2.0, 4.0, 6.0):
+            world.sim.run(until=until)
+            snapshots.append(Snapshot.capture(world, label=f"t={until:g}"))
+        store.put(snapshots[0])
+        store.put_delta(snapshots[1], base_digest=snapshots[0].digest)
+        store.put_delta(snapshots[2], base_digest=snapshots[1].digest)
+        assert store.get(snapshots[2].digest).payload == snapshots[2].payload
+
+    def test_missing_base_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            store.put_delta(_snapshot(), base_digest="f" * 64)

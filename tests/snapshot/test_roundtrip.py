@@ -129,11 +129,8 @@ class TestCaptureGuards:
         scenario.sim.run(until=1.0)
         snapshot = Snapshot.capture(scenario)
         # Tamper with the recorded digest: restore must notice.
-        snapshot.info = type(snapshot.info)(
-            digest="0" * 64,
-            sim_time=snapshot.info.sim_time,
-            events_processed=snapshot.info.events_processed,
-            label=snapshot.info.label,
-        )
+        import dataclasses
+
+        snapshot.info = dataclasses.replace(snapshot.info, digest="0" * 64)
         with pytest.raises(SnapshotError, match="digest"):
             snapshot.restore()
