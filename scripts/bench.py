@@ -48,6 +48,7 @@ from repro.experiments.figure5 import (  # noqa: E402
 from repro.experiments.figure6 import Figure6Config, run_figure6  # noqa: E402
 from repro.experiments.figure7 import Figure7Config, run_figure7  # noqa: E402
 from repro.experiments.table5 import Table5Config, run_table5  # noqa: E402
+from repro.obs import RunTelemetry  # noqa: E402
 from repro.runner import (  # noqa: E402
     ResultCache,
     SnapshotStore,
@@ -88,25 +89,42 @@ def bench_engine(repeats: int) -> dict:
 
 
 def bench_experiments(quick: bool, jobs: int) -> dict:
-    """The macro campaign: figure5's grid, cold then cache-replayed."""
+    """The macro campaign: figure5's grid, cold then cache-replayed.
+
+    The whole campaign runs under one :class:`RunTelemetry`, so the
+    committed baseline names the run manifest (spec digests, per-task
+    wall times, code fingerprint) that produced its numbers.
+    """
     config = Figure5Config()
     if quick:
         config.transfer_packets = 300
         config.sim_duration = 30.0
     cells = len(config.drop_counts) * len(config.variants)
-    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
-        runner = SweepRunner(jobs=jobs, cache=ResultCache(root=tmp))
+    telemetry = RunTelemetry(
+        "bench-fig5", args={"quick": quick, "jobs": jobs}, progress=False
+    )
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+            runner = SweepRunner(jobs=jobs, cache=ResultCache(root=tmp))
+            telemetry.attach(runner)
+            start = time.perf_counter()
+            run_figure5(config, runner=runner, manifest=telemetry.manifest)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            run_figure5(config, runner=runner)
+            warm = time.perf_counter() - start
+            hit_rate = runner.stats.cache_hit_rate
+            telemetry.detach(runner)
+        serial_runner = SweepRunner(jobs=1)
+        telemetry.attach(serial_runner)
         start = time.perf_counter()
-        run_figure5(config, runner=runner)
-        cold = time.perf_counter() - start
-        start = time.perf_counter()
-        run_figure5(config, runner=runner)
-        warm = time.perf_counter() - start
-        hit_rate = runner.stats.cache_hit_rate
-    serial_runner = SweepRunner(jobs=1)
-    start = time.perf_counter()
-    run_figure5(config, runner=serial_runner)
-    serial = time.perf_counter() - start
+        run_figure5(config, runner=serial_runner)
+        serial = time.perf_counter() - start
+        telemetry.detach(serial_runner)
+    except BaseException as error:
+        telemetry.abort(error)
+        raise
+    manifest_path = telemetry.finish()
     report = {
         "campaign": "figure5" + ("-quick" if quick else ""),
         "cells": cells,
@@ -118,6 +136,8 @@ def bench_experiments(quick: bool, jobs: int) -> dict:
         "parallel_speedup": round(serial / cold, 2) if cold else None,
         "cache_hit_rate": hit_rate,
         "warm_over_cold": round(warm / cold, 4) if cold else None,
+        "run_id": telemetry.manifest.run_id,
+        "manifest": str(manifest_path),
     }
     for key, value in report.items():
         print(f"  {key:<18} {value}")
@@ -183,42 +203,63 @@ def bench_warmstart(quick: bool) -> dict:
     """
     suffix = "-quick" if quick else ""
     grids = {}
-    for name, run_fn, config, cells, rows_of in _warmstart_grids(quick):
-        with tempfile.TemporaryDirectory(prefix="repro-bench-snap-") as tmp:
-            store = SnapshotStore(tmp)
+    telemetry = RunTelemetry("bench-warmstart", args={"quick": quick}, progress=False)
+
+    def _timed(run_fn, config, store=None, warm_start=False):
+        runner = SweepRunner()
+        telemetry.attach(runner)
+        try:
             start = time.perf_counter()
-            cold = run_fn(config, runner=SweepRunner())
-            cold_seconds = time.perf_counter() - start
-            start = time.perf_counter()
-            warm = run_fn(config, runner=SweepRunner(), warm_start=True, store=store)
-            warm_seconds = time.perf_counter() - start
-            start = time.perf_counter()
-            replay = run_fn(config, runner=SweepRunner(), warm_start=True, store=store)
-            replay_seconds = time.perf_counter() - start
-        if rows_of(warm) != rows_of(cold) or rows_of(replay) != rows_of(cold):
-            raise AssertionError(f"{name}: warm-start results diverged from cold")
-        report = {
-            "campaign": name + suffix,
-            "cells": cells,
-            "cold_seconds": round(cold_seconds, 3),
-            "warm_seconds": round(warm_seconds, 3),
-            "warm_replay_seconds": round(replay_seconds, 3),
-            "warm_speedup": (
-                round(cold_seconds / warm_seconds, 2) if warm_seconds else None
-            ),
-            "warm_replay_speedup": (
-                round(cold_seconds / replay_seconds, 2) if replay_seconds else None
-            ),
-            "bit_identical": True,
-        }
-        grids[name] = report
-        print(
-            f"  {name:<20} cold {report['cold_seconds']:>7.3f}s"
-            f"  warm {report['warm_seconds']:>7.3f}s (x{report['warm_speedup']})"
-            f"  replay {report['warm_replay_seconds']:>7.3f}s"
-            f" (x{report['warm_replay_speedup']})"
-        )
+            result = run_fn(config, runner=runner, warm_start=warm_start, store=store)
+            return result, time.perf_counter() - start
+        finally:
+            telemetry.detach(runner)
+
+    try:
+        for name, run_fn, config, cells, rows_of in _warmstart_grids(quick):
+            with tempfile.TemporaryDirectory(prefix="repro-bench-snap-") as tmp:
+                store = SnapshotStore(tmp)
+                cold, cold_seconds = _timed(run_fn, config)
+                warm, warm_seconds = _timed(run_fn, config, store, warm_start=True)
+                replay, replay_seconds = _timed(run_fn, config, store, warm_start=True)
+            if rows_of(warm) != rows_of(cold) or rows_of(replay) != rows_of(cold):
+                raise AssertionError(f"{name}: warm-start results diverged from cold")
+            grids[name] = _warmstart_report(
+                name + suffix, cells, cold_seconds, warm_seconds, replay_seconds
+            )
+    except BaseException as error:
+        telemetry.abort(error)
+        raise
+    telemetry.finish()
+    grids["run_id"] = telemetry.manifest.run_id
     return grids
+
+
+def _warmstart_report(
+    campaign: str, cells: int, cold_seconds: float, warm_seconds: float,
+    replay_seconds: float,
+) -> dict:
+    report = {
+        "campaign": campaign,
+        "cells": cells,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_replay_seconds": round(replay_seconds, 3),
+        "warm_speedup": (
+            round(cold_seconds / warm_seconds, 2) if warm_seconds else None
+        ),
+        "warm_replay_speedup": (
+            round(cold_seconds / replay_seconds, 2) if replay_seconds else None
+        ),
+        "bit_identical": True,
+    }
+    print(
+        f"  {campaign:<20} cold {report['cold_seconds']:>7.3f}s"
+        f"  warm {report['warm_seconds']:>7.3f}s (x{report['warm_speedup']})"
+        f"  replay {report['warm_replay_seconds']:>7.3f}s"
+        f" (x{report['warm_replay_speedup']})"
+    )
+    return report
 
 
 def bench_delta() -> dict:

@@ -168,11 +168,15 @@ def run_one(name: str, config: AblationConfig) -> AblationRow:
 
 
 def run_ablation(
-    config: Optional[AblationConfig] = None, runner: Optional[SweepRunner] = None
+    config: Optional[AblationConfig] = None,
+    runner: Optional[SweepRunner] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> AblationResult:
     config = config or AblationConfig()
     runner = runner or SweepRunner()
     result = AblationResult(config=config)
+    if manifest is not None:
+        manifest.describe_harness("ablation", config=config)
     specs = [
         TaskSpec(
             fn="repro.experiments.ablation:run_one",

@@ -185,6 +185,7 @@ def run_ackloss(
     runner: Optional[SweepRunner] = None,
     warm_start: bool = False,
     store: Optional[SnapshotStore] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> AckLossResult:
     """Regenerate the ACK-loss grid.
 
@@ -196,6 +197,10 @@ def run_ackloss(
     config = config or AckLossConfig()
     runner = runner or SweepRunner()
     result = AckLossResult(config=config)
+    if manifest is not None:
+        manifest.describe_harness(
+            "ackloss", config=config, seed=config.seed, warm_start=warm_start
+        )
     cells = [
         (variant, rate)
         for variant in config.variants
@@ -213,7 +218,10 @@ def run_ackloss(
                 label=f"ackloss {cell[0]}/{cell[1]} (warm)",
             ),
             store=store,
+            runner=runner,
         )
+        if manifest is not None:
+            manifest.note_warm_start(store)
     else:
         specs = [
             TaskSpec(

@@ -108,11 +108,15 @@ def run_point(variant: str, burst_length: float, config: BurstChannelConfig) -> 
 
 
 def run_burstchannel(
-    config: Optional[BurstChannelConfig] = None, runner: Optional[SweepRunner] = None
+    config: Optional[BurstChannelConfig] = None,
+    runner: Optional[SweepRunner] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> BurstChannelResult:
     config = config or BurstChannelConfig()
     runner = runner or SweepRunner()
     result = BurstChannelResult(config=config)
+    if manifest is not None:
+        manifest.describe_harness("burst", config=config, seed=config.seed)
     specs = [
         TaskSpec(
             fn="repro.experiments.burstchannel:run_point",

@@ -294,12 +294,16 @@ def run_cell(variant: str, config: ChaosConfig, seed_index: int = -1) -> ChaosRu
 
 
 def run_chaos(
-    config: Optional[ChaosConfig] = None, runner: Optional[SweepRunner] = None
+    config: Optional[ChaosConfig] = None,
+    runner: Optional[SweepRunner] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> ChaosResult:
     """All variants x ``seeds`` campaigns (+ one baseline per variant)."""
     config = config or ChaosConfig()
     runner = runner or SweepRunner()
     result = ChaosResult(config=config)
+    if manifest is not None:
+        manifest.describe_harness("chaos", config=config, seed=config.seed_base)
     campaign = CampaignRunner(seed=config.seed_base, spec=config.campaign)
     specs: List[TaskSpec] = []
     for variant in config.variants:

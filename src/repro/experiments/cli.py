@@ -15,6 +15,12 @@ is nearly free.  ``--no-cache`` forces recomputation; see
 docs/PERFORMANCE.md.  ``--warm-start`` forks the warm-startable grids
 from frozen prefixes, and ``--triage`` bisects chaos crashes from
 frozen crash points; both are documented in docs/WARMSTART.md.
+
+Every run writes a provenance manifest (plus a JSONL event log) to
+``$REPRO_ARTIFACT_DIR/runs/<run_id>/``; ``--progress`` / ``--quiet``
+force the live progress line on/off (default: only on a TTY) and
+``--profile`` captures a cProfile per executed task and prints the
+merged hot-function table.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from repro.experiments import (
     table5,
     vegas_decomposition,
 )
+from repro.obs import RunTelemetry
 from repro.runner import ResultCache, SweepRunner
 
 
@@ -42,84 +49,98 @@ def _warm(args) -> bool:
     return bool(getattr(args, "warm_start", False))
 
 
-def _run_fig5(args, runner):
+def _run_fig5(args, runner, manifest=None):
     config = figure5.Figure5Config()
     if args.quick:
         config.transfer_packets = 300
         config.sim_duration = 30.0
-    result = figure5.run_figure5(config, runner=runner, warm_start=_warm(args))
+    result = figure5.run_figure5(
+        config, runner=runner, warm_start=_warm(args), manifest=manifest
+    )
     return figure5.format_report(result), result, "fig5"
 
 
-def _run_fig6(args, runner):
+def _run_fig6(args, runner, manifest=None):
     config = figure6.Figure6Config()
     if args.quick:
         config.duration = 3.0
-    result = figure6.run_figure6(config, runner=runner, warm_start=_warm(args))
+    result = figure6.run_figure6(
+        config, runner=runner, warm_start=_warm(args), manifest=manifest
+    )
     return figure6.format_report(result, plots=not args.quick), result, "fig6"
 
 
-def _run_fig7(args, runner):
+def _run_fig7(args, runner, manifest=None):
     config = figure7.Figure7Config()
     if args.quick:
         config.loss_rates = (0.01, 0.05, 0.1)
         config.duration = 30.0
         config.runs_per_point = 1
-    result = figure7.run_figure7(config, runner=runner, warm_start=_warm(args))
+    result = figure7.run_figure7(
+        config, runner=runner, warm_start=_warm(args), manifest=manifest
+    )
     return figure7.format_report(result, plot=not args.quick), result, "fig7"
 
 
-def _run_table5(args, runner):
+def _run_table5(args, runner, manifest=None):
     config = table5.Table5Config()
     if args.quick:
         config.sim_duration = 90.0
         config.runs_per_case = 2
-    result = table5.run_table5(config, runner=runner, warm_start=_warm(args))
+    result = table5.run_table5(
+        config, runner=runner, warm_start=_warm(args), manifest=manifest
+    )
     return table5.format_report(result), result, "table5"
 
 
-def _run_burst(args, runner):
+def _run_burst(args, runner, manifest=None):
     config = burstchannel.BurstChannelConfig()
     if args.quick:
         config.runs_per_point = 1
         config.transfer_packets = 200
-    result = burstchannel.run_burstchannel(config, runner=runner)
+    result = burstchannel.run_burstchannel(config, runner=runner, manifest=manifest)
     return burstchannel.format_report(result), result, "burst"
 
 
-def _run_ackloss(args, runner):
+def _run_ackloss(args, runner, manifest=None):
     config = ackloss.AckLossConfig()
     if args.quick:
         config.ack_loss_rates = (0.0, 0.1)
         config.runs_per_point = 1
         config.sim_duration = 30.0
-    result = ackloss.run_ackloss(config, runner=runner, warm_start=_warm(args))
+    result = ackloss.run_ackloss(
+        config, runner=runner, warm_start=_warm(args), manifest=manifest
+    )
     return ackloss.format_report(result), None, None
 
 
-def _run_ablation(args, runner):
+def _run_ablation(args, runner, manifest=None):
     config = ablation.AblationConfig()
     if args.quick:
         config.transfer_packets = 300
         config.sim_duration = 30.0
     return (
-        ablation.format_report(ablation.run_ablation(config, runner=runner)),
+        ablation.format_report(
+            ablation.run_ablation(config, runner=runner, manifest=manifest)
+        ),
         None,
         None,
     )
 
 
-def _run_vegas(args, runner):
+def _run_vegas(args, runner, manifest=None):
     config = vegas_decomposition.VegasDecompositionConfig()
     if args.quick:
         config.transfer_packets = 200
         config.sim_duration = 60.0
     return vegas_decomposition.format_report(
-        vegas_decomposition.run_vegas_decomposition(config, runner=runner)
+        vegas_decomposition.run_vegas_decomposition(
+            config, runner=runner, manifest=manifest
+        )
     ), None, None
 
 
-def _run_chaos(args, runner):
+def _run_chaos(args, runner, manifest=None):
     config = chaos.ChaosConfig()
     if args.quick:
         config.seeds = 2
@@ -134,7 +155,11 @@ def _run_chaos(args, runner):
 
         config.triage = True
         config.snapshot_store_root = str(SnapshotStore().root)
-    return chaos.format_report(chaos.run_chaos(config, runner=runner)), None, None
+    return (
+        chaos.format_report(chaos.run_chaos(config, runner=runner, manifest=manifest)),
+        None,
+        None,
+    )
 
 
 EXPERIMENTS = {
@@ -416,6 +441,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         " point and bisect it with/without the active fault"
         " (see docs/WARMSTART.md)",
     )
+    progress_group = parser.add_mutually_exclusive_group()
+    progress_group.add_argument(
+        "--progress",
+        dest="progress",
+        action="store_true",
+        default=None,
+        help="force the live progress line on (default: only on a TTY)",
+    )
+    progress_group.add_argument(
+        "--quiet",
+        dest="progress",
+        action="store_false",
+        help="suppress the live progress line",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture a cProfile per executed task under"
+        " runs/<run_id>/profiles/ and print the merged hot-function"
+        " table (see docs/OBSERVABILITY.md)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print(format_listing())
@@ -428,8 +474,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     runner = build_runner(jobs=args.jobs, cache=args.cache)
+    invocation = {
+        "quick": args.quick,
+        "jobs": args.jobs,
+        "cache": args.cache,
+        "warm_start": args.warm_start,
+    }
     for name in names:
-        report, result, export_id = EXPERIMENTS[name](args, runner)
+        telemetry = RunTelemetry(
+            name, args=invocation, progress=args.progress, profile=args.profile
+        )
+        telemetry.attach(runner)
+        try:
+            report, result, export_id = EXPERIMENTS[name](
+                args, runner, manifest=telemetry.manifest
+            )
+        except BaseException as error:
+            telemetry.abort(error)
+            raise
+        finally:
+            telemetry.detach(runner)
+        manifest_path = telemetry.finish()
         print(f"===== {name} =====")
         print(report)
         stats = runner.stats
@@ -439,6 +504,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f" {stats.executed} executed on {stats.jobs} job(s)"
                 f" in {stats.wall_seconds:.2f}s"
             )
+        print(f"[manifest] {manifest_path}")
+        if args.profile:
+            profile_report = telemetry.profile_report()
+            if profile_report:
+                print(profile_report)
         print()
         if out_dir is not None:
             (out_dir / f"{name}.txt").write_text(report + "\n")

@@ -237,17 +237,22 @@ def run_figure5(
     runner: Optional[SweepRunner] = None,
     warm_start: bool = False,
     store: Optional[SnapshotStore] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> Figure5Result:
     """Regenerate both panels of Figure 5.
 
     With ``warm_start`` the pre-loss prefix is simulated once per
     variant, captured, and every drop-count cell forks the frozen world
     instead of re-running slow start from t=0 (bit-identical rows, see
-    tests/snapshot/test_fork.py).
+    tests/snapshot/test_fork.py).  A :class:`~repro.obs.RunManifest`
+    passed as ``manifest`` is annotated with the harness identity,
+    canonical config and warm-start reuse counters (docs/OBSERVABILITY.md).
     """
     config = config or Figure5Config()
     runner = runner or SweepRunner()
     result = Figure5Result(config=config)
+    if manifest is not None:
+        manifest.describe_harness("fig5", config=config, warm_start=warm_start)
     cells = [
         (variant, n_drops)
         for n_drops in config.drop_counts
@@ -265,7 +270,10 @@ def run_figure5(
                 label=f"fig5 {cell[0]}/{cell[1]}-drop (warm)",
             ),
             store=store,
+            runner=runner,
         )
+        if manifest is not None:
+            manifest.note_warm_start(store)
     else:
         specs = [
             TaskSpec(

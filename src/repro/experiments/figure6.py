@@ -123,7 +123,7 @@ def _finish(scenario, variant: str, config: Figure6Config) -> Figure6FlowResult:
     scenario.sim.run(until=config.duration)
     sender, stats = scenario.flow(1)
     tracer = SequenceTracer(stats)
-    stalls = tracer.stall_periods(threshold=0.5)
+    stalls = tracer.stall_periods(threshold=0.5, t_end=config.duration)
     from repro.metrics.fairness import jain_index
 
     fleet_acks = [scenario.stats[i].final_ack for i in scenario.stats]
@@ -163,6 +163,7 @@ def run_figure6(
     runner: Optional[SweepRunner] = None,
     warm_start: bool = False,
     store: Optional[SnapshotStore] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> Figure6Result:
     """Regenerate all three panels of Figure 6.
 
@@ -173,6 +174,10 @@ def run_figure6(
     config = config or Figure6Config()
     runner = runner or SweepRunner()
     result = Figure6Result(config=config)
+    if manifest is not None:
+        manifest.describe_harness(
+            "fig6", config=config, seed=config.seed, warm_start=warm_start
+        )
     if warm_start:
         store = store or SnapshotStore()
         store_arg = str(store.root)
@@ -185,7 +190,10 @@ def run_figure6(
                 label=f"fig6 {variant} (warm)",
             ),
             store=store,
+            runner=runner,
         )
+        if manifest is not None:
+            manifest.note_warm_start(store)
     else:
         specs = [
             TaskSpec(

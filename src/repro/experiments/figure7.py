@@ -184,6 +184,7 @@ def run_figure7(
     runner: Optional[SweepRunner] = None,
     warm_start: bool = False,
     store: Optional[SnapshotStore] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> Figure7Result:
     """Regenerate Figure 7's sweep.
 
@@ -195,6 +196,10 @@ def run_figure7(
     config = config or Figure7Config()
     runner = runner or SweepRunner()
     result = Figure7Result(config=config)
+    if manifest is not None:
+        manifest.describe_harness(
+            "fig7", config=config, seed=config.seed, warm_start=warm_start
+        )
     cells = [
         (variant, loss_rate)
         for variant in config.variants
@@ -212,7 +217,10 @@ def run_figure7(
                 label=f"fig7 {cell[0]}/p={cell[1]} (warm)",
             ),
             store=store,
+            runner=runner,
         )
+        if manifest is not None:
+            manifest.note_warm_start(store)
     else:
         specs = [
             TaskSpec(

@@ -250,6 +250,7 @@ def run_table5(
     runner: Optional[SweepRunner] = None,
     warm_start: bool = False,
     store: Optional[SnapshotStore] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> Table5Result:
     """Regenerate all four cases of Table 5.
 
@@ -258,11 +259,17 @@ def run_table5(
     build-up — is simulated once and both target variants fork it, so
     the four-case grid needs ``2 x runs_per_case`` prefixes instead of
     ``4 x runs_per_case`` warm-ups, and rows stay bit-identical to the
-    cold path.
+    cold path.  Missing prefixes are captured in parallel over the
+    runner's worker pool, so the first warm pass no longer serializes
+    ten chaotic 19-flow warm-ups (ROADMAP: warm-start first-pass cost).
     """
     config = config or Table5Config()
     runner = runner or SweepRunner()
     result = Table5Result(config=config)
+    if manifest is not None:
+        manifest.describe_harness(
+            "table5", config=config, seed=config.seed, warm_start=warm_start
+        )
     if warm_start:
         store = store or SnapshotStore()
         store_arg = str(store.root)
@@ -280,7 +287,10 @@ def run_table5(
                 label=f"table5 {cell[0]}/{cell[1]}s run{cell[2]} (warm)",
             ),
             store=store,
+            runner=runner,
         )
+        if manifest is not None:
+            manifest.note_warm_start(store)
         replicas = runner.map(specs)
         per_case = config.runs_per_case
         for case_index, (target_variant, background_variant) in enumerate(config.cases):

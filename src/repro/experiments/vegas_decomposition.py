@@ -119,10 +119,13 @@ def run_one(name: str, config: VegasDecompositionConfig) -> VegasDecompositionRo
 def run_vegas_decomposition(
     config: Optional[VegasDecompositionConfig] = None,
     runner: Optional[SweepRunner] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> VegasDecompositionResult:
     config = config or VegasDecompositionConfig()
     runner = runner or SweepRunner()
     result = VegasDecompositionResult(config=config)
+    if manifest is not None:
+        manifest.describe_harness("vegas", config=config)
     specs = [
         TaskSpec(
             fn="repro.experiments.vegas_decomposition:run_one",

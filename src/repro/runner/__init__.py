@@ -10,7 +10,14 @@ See docs/PERFORMANCE.md for the architecture and guarantees.
 
 from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.fingerprint import code_fingerprint, package_root
-from repro.runner.pool import SweepRunner, SweepStats, default_jobs, run_tasks
+from repro.runner.pool import (
+    SweepObserver,
+    SweepRunner,
+    SweepStats,
+    TaskRecord,
+    default_jobs,
+    run_tasks,
+)
 from repro.runner.spec import TaskSpec, canonicalize, resolve
 from repro.runner.warmstart import (
     PREFIX_INDEX_SUBDIR,
@@ -29,8 +36,10 @@ __all__ = [
     "ResultCache",
     "SNAPSHOT_SUBDIR",
     "SnapshotStore",
+    "SweepObserver",
     "SweepRunner",
     "SweepStats",
+    "TaskRecord",
     "TaskSpec",
     "canonicalize",
     "code_fingerprint",

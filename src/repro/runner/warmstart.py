@@ -108,12 +108,28 @@ def step_until(
     return True
 
 
+def capture_prefix_cell(
+    fn: str,
+    args: Sequence,
+    kwargs: Dict,
+    store_root: str,
+    fingerprint: str,
+) -> str:
+    """Worker entry point for parallel prefix capture: rebuild the
+    :class:`PrefixSpec` from its spec fields and ensure it in the store
+    (idempotent — the store's index and snapshot writes are atomic, so
+    concurrent captures of the same prefix are safe)."""
+    spec = PrefixSpec(fn=fn, args=tuple(args), kwargs=dict(kwargs))
+    return SnapshotStore(store_root).ensure_prefix(spec, fingerprint=fingerprint)
+
+
 def warm_specs(
     cells: Sequence,
     prefix_for: Callable[..., PrefixSpec],
     spec_for: Callable[..., TaskSpec],
     store: "SnapshotStore",
     fingerprint: Optional[str] = None,
+    runner=None,
 ) -> List[TaskSpec]:
     """Build the warm task specs for a sweep.
 
@@ -122,14 +138,63 @@ def warm_specs(
     prefix is ensured in ``store`` (captured at most once per code
     version), then ``spec_for(cell, digest)`` emits the cell's task
     spec carrying the snapshot digest.
+
+    With a parallel ``runner`` (a :class:`~repro.runner.pool.
+    SweepRunner` with ``jobs > 1``), the prefixes that are *not* yet in
+    the store are captured concurrently over the runner's worker pool
+    instead of one after another — the fix for table5's
+    slower-than-cold first warm pass, where 19-flow prefixes dominate
+    the sweep.  Results are unchanged: captures are deterministic in
+    their spec, and the coordinating process re-reads every digest
+    through the (atomically written) prefix index afterwards.
+    ``store.prefix_hits`` / ``store.prefix_captures`` record the split
+    for telemetry.
     """
-    digests: Dict[str, str] = {}
-    specs: List[TaskSpec] = []
+    if fingerprint is None:
+        from repro.runner.fingerprint import code_fingerprint
+
+        fingerprint = code_fingerprint()
+    prefixes: Dict[str, PrefixSpec] = {}
+    keys: List[str] = []
     for cell in cells:
         prefix = prefix_for(cell)
         key = prefix.digest()
+        keys.append(key)
+        prefixes.setdefault(key, prefix)
+    missing = [
+        key
+        for key, prefix in prefixes.items()
+        if store.lookup_prefix(prefix, fingerprint) is None
+    ]
+    store.prefix_hits += len(prefixes) - len(missing)
+    store.prefix_captures += len(missing)
+    jobs = getattr(runner, "jobs", 1) if runner is not None else 1
+    if len(missing) > 1 and jobs > 1:
+        from repro.runner.pool import SweepRunner
+
+        capture_specs = [
+            TaskSpec(
+                fn="repro.runner.warmstart:capture_prefix_cell",
+                args=(
+                    prefixes[key].fn,
+                    prefixes[key].args,
+                    prefixes[key].kwargs,
+                    str(store.root),
+                    fingerprint,
+                ),
+                label=f"prefix capture: {prefixes[key].describe()}",
+            )
+            for key in missing
+        ]
+        SweepRunner(
+            jobs=min(jobs, len(capture_specs)),
+            observer=getattr(runner, "observer", None),
+        ).map(capture_specs)
+    digests: Dict[str, str] = {}
+    specs: List[TaskSpec] = []
+    for cell, key in zip(cells, keys):
         if key not in digests:
-            digests[key] = store.ensure_prefix(prefix, fingerprint=fingerprint)
+            digests[key] = store.ensure_prefix(prefixes[key], fingerprint=fingerprint)
         specs.append(spec_for(cell, digests[key]))
     return specs
 
@@ -142,6 +207,10 @@ class SnapshotStore:
             cache_root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
             root = Path(cache_root) / SNAPSHOT_SUBDIR
         self.root = Path(root)
+        #: Prefix reuse counters, maintained by :func:`warm_specs`
+        #: (telemetry: the warm-start hit rate in a run manifest).
+        self.prefix_hits = 0
+        self.prefix_captures = 0
 
     def path_for(self, digest: str) -> Path:
         return self.root / f"{digest}.snap"
@@ -239,6 +308,35 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     # prefix index
     # ------------------------------------------------------------------
+    def _prefix_index_path(self, spec: PrefixSpec, fingerprint: str) -> Path:
+        return (
+            self.root
+            / PREFIX_INDEX_SUBDIR
+            / fingerprint[:16]
+            / f"{spec.digest()}.json"
+        )
+
+    def lookup_prefix(
+        self, spec: PrefixSpec, fingerprint: Optional[str] = None
+    ) -> Optional[str]:
+        """The snapshot digest of ``spec``'s stored capture, or None
+        when the prefix would have to be (re)captured — the read half
+        of :meth:`ensure_prefix`, with no side effects."""
+        if fingerprint is None:
+            from repro.runner.fingerprint import code_fingerprint
+
+            fingerprint = code_fingerprint()
+        index_path = self._prefix_index_path(spec, fingerprint)
+        if not index_path.exists():
+            return None
+        try:
+            entry = json.loads(index_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry and self.contains(entry.get("snapshot", "")):
+            return entry["snapshot"]
+        return None
+
     def ensure_prefix(
         self, spec: PrefixSpec, fingerprint: Optional[str] = None
     ) -> str:
@@ -256,19 +354,10 @@ class SnapshotStore:
             from repro.runner.fingerprint import code_fingerprint
 
             fingerprint = code_fingerprint()
-        index_path = (
-            self.root
-            / PREFIX_INDEX_SUBDIR
-            / fingerprint[:16]
-            / f"{spec.digest()}.json"
-        )
-        if index_path.exists():
-            try:
-                entry = json.loads(index_path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
-                entry = None
-            if entry and self.contains(entry.get("snapshot", "")):
-                return entry["snapshot"]
+        stored = self.lookup_prefix(spec, fingerprint)
+        if stored is not None:
+            return stored
+        index_path = self._prefix_index_path(spec, fingerprint)
         snapshot = spec.capture()
         digest = self.put(snapshot)
         index_path.parent.mkdir(parents=True, exist_ok=True)

@@ -77,6 +77,14 @@ class SenderHarness:
         self.sim.run(until=self.sim.now + seconds)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_dir(tmp_path, monkeypatch):
+    """Point run-telemetry output (manifests, heartbeats, chaos dumps)
+    at a per-test directory, so tests exercising the CLI or the obs
+    layer never write into the repo checkout or a CI artifact tree."""
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -42,6 +42,74 @@ class TestDispatch:
         assert "burst len" in capsys.readouterr().out
 
 
+class TestTelemetry:
+    """Every CLI run writes a provenance manifest (ISSUE 5 acceptance)."""
+
+    def _runs(self, tmp_path):
+        root = tmp_path / "artifacts" / "runs"
+        return sorted(root.iterdir()) if root.is_dir() else []
+
+    def test_run_writes_a_manifest(self, capsys, tmp_path, monkeypatch):
+        from repro.obs import RunManifest
+
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+        assert main(["ablation", "--quick", "--quiet", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "[manifest]" in out
+        runs = self._runs(tmp_path)
+        assert len(runs) == 1
+        manifest = RunManifest.load(runs[0] / "manifest.json")
+        assert manifest.harness == "ablation"
+        assert manifest.outcome == "ok"
+        assert manifest.run_id.startswith("ablation-")
+        assert manifest.args["quick"] is True
+        assert manifest.args["cache"] is False
+        assert manifest.args["config"]["__dataclass__"].endswith("AblationConfig")
+        assert manifest.total == len(manifest.tasks) > 0
+        assert manifest.executed + manifest.cached == manifest.total
+        assert manifest.failed == 0
+        assert manifest.code_fingerprint
+
+    def test_heartbeat_log_written_next_to_manifest(self, tmp_path, monkeypatch, capsys):
+        from repro.obs import read_events
+
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+        assert main(["ablation", "--quick", "--quiet", "--no-cache"]) == 0
+        (run_dir,) = self._runs(tmp_path)
+        events = read_events(run_dir / "events.jsonl")
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
+        assert "task_finished" in kinds
+
+    def test_fig5_profile_writes_pstats_and_merged_table(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+        assert main(["fig5", "--quick", "--quiet", "--no-cache", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "hot function (merged)" in out
+        (run_dir,) = self._runs(tmp_path)
+        captures = sorted((run_dir / "profiles").glob("*.pstats"))
+        assert captures
+        assert all(p.name.startswith("task-") for p in captures)
+
+    def test_failed_run_still_writes_manifest(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.cli import EXPERIMENTS
+        from repro.obs import RunManifest
+
+        def exploding(args, runner, manifest=None):
+            raise RuntimeError("harness blew up")
+
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+        monkeypatch.setitem(EXPERIMENTS, "ablation", exploding)
+        with pytest.raises(RuntimeError, match="harness blew up"):
+            main(["ablation", "--quick", "--quiet"])
+        (run_dir,) = self._runs(tmp_path)
+        manifest = RunManifest.load(run_dir / "manifest.json")
+        assert manifest.outcome.startswith("failed: RuntimeError")
+
+
 class TestListing:
     def test_list_enumerates_every_experiment(self, capsys):
         from repro.experiments.cli import DESCRIPTIONS

@@ -49,6 +49,22 @@ def test_warm_matches_cold(tmp_path, run_fn, config, rows_of):
     assert rows_of(replay) == rows_of(cold)
 
 
+def test_table5_first_warm_pass_captures_prefixes_in_parallel(tmp_path):
+    # Two replications → two missing (background, run) prefixes on the
+    # first warm pass; with a parallel runner they are captured over
+    # the worker pool rather than one after another, and the rows stay
+    # bit-identical to cold.
+    config = Table5Config(cases=(("reno", "rr"),), runs_per_case=2, sim_duration=20.0)
+    cold = run_table5(config, runner=SweepRunner())
+    store = SnapshotStore(tmp_path / "snaps")
+    warm = run_table5(
+        config, runner=SweepRunner(jobs=2), warm_start=True, store=store
+    )
+    assert warm.rows == cold.rows
+    assert store.prefix_captures == 2
+    assert store.prefix_hits == 0
+
+
 def test_parallel_warm_matches_serial(tmp_path):
     store = SnapshotStore(tmp_path / "snaps")
     serial = run_figure7(

@@ -59,3 +59,33 @@ class TestStalls:
         for i in range(10):
             stats.on_ack(i * 0.1, sender, i, duplicate=False)
         assert SequenceTracer(stats).stall_periods(threshold=1.0) == []
+
+    def test_trailing_stall_reported_with_t_end(self):
+        # A flow that goes quiet: last ACK at 2.0, window ends at 6.0 —
+        # the timeout plateau Figure 6(a) ends on.
+        stats = FlowStats(flow_id=1)
+        sender = FakeSender()
+        for t, ack in [(0.0, 1), (1.0, 2), (2.0, 3)]:
+            stats.on_ack(t, sender, ack, duplicate=False)
+        tracer = SequenceTracer(stats)
+        assert tracer.stall_periods(threshold=2.0) == []
+        assert tracer.stall_periods(threshold=2.0, t_end=6.0) == [(2.0, 6.0)]
+
+    def test_trailing_stall_below_threshold_not_reported(self):
+        stats = FlowStats(flow_id=1)
+        sender = FakeSender()
+        stats.on_ack(5.5, sender, 1, duplicate=False)
+        assert SequenceTracer(stats).stall_periods(threshold=1.0, t_end=6.0) == []
+
+    def test_both_interior_and_trailing_stalls(self):
+        stats = FlowStats(flow_id=1)
+        sender = FakeSender()
+        for t, ack in [(0.0, 1), (3.0, 2), (3.2, 3)]:
+            stats.on_ack(t, sender, ack, duplicate=False)
+        stalls = SequenceTracer(stats).stall_periods(threshold=1.0, t_end=6.0)
+        assert stalls == [(0.0, 3.0), (3.2, 6.0)]
+
+    def test_no_acks_counts_as_stalled_from_zero(self):
+        tracer = SequenceTracer(FlowStats(flow_id=1))
+        assert tracer.stall_periods(threshold=1.0, t_end=6.0) == [(0.0, 6.0)]
+        assert tracer.stall_periods(threshold=1.0) == []

@@ -1,0 +1,73 @@
+"""Per-task cProfile capture and the merged hot-function ranking."""
+
+import pstats
+
+from repro.obs import hot_functions, hot_functions_report, merged_stats, profile_paths
+from repro.runner import SweepRunner, TaskSpec
+
+
+def spin(n):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def _specs(n):
+    return [
+        TaskSpec(fn="tests.obs.test_profiling:spin", args=(5000 + i,))
+        for i in range(n)
+    ]
+
+
+class TestCapture:
+    def test_serial_sweep_writes_one_pstats_per_task(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        runner = SweepRunner(profile_dir=profile_dir)
+        specs = _specs(3)
+        runner.map(specs)
+        paths = profile_paths(profile_dir)
+        assert len(paths) == 3
+        for index, (path, spec) in enumerate(zip(paths, specs)):
+            assert path.name == f"task-{index:04d}-{spec.digest()[:12]}.pstats"
+            pstats.Stats(str(path))  # loadable standard dump
+
+    def test_pool_sweep_writes_captures_too(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        SweepRunner(jobs=2, profile_dir=profile_dir).map(_specs(4))
+        assert len(profile_paths(profile_dir)) == 4
+
+    def test_cached_tasks_are_not_profiled(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(root=tmp_path / "cache")
+        specs = _specs(2)
+        SweepRunner(cache=cache).map(specs)
+        profile_dir = tmp_path / "profiles"
+        SweepRunner(cache=cache, profile_dir=profile_dir).map(specs)
+        assert profile_paths(profile_dir) == []
+
+
+class TestMerge:
+    def test_hot_functions_rank_the_workload(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        SweepRunner(profile_dir=profile_dir).map(_specs(3))
+        rows = hot_functions(profile_dir, top=5)
+        assert rows
+        assert any("spin" in row.location for row in rows)
+        self_times = [row.internal_seconds for row in rows]
+        assert self_times == sorted(self_times, reverse=True)
+        top_spin = next(row for row in rows if "spin" in row.location)
+        assert top_spin.calls == 3  # merged across the three captures
+
+    def test_report_mentions_capture_count_and_table(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        SweepRunner(profile_dir=profile_dir).map(_specs(2))
+        report = hot_functions_report(profile_dir, top=5)
+        assert "merged profile over 2 task capture(s)" in report
+        assert "hot function (merged)" in report
+
+    def test_empty_dir_degrades_gracefully(self, tmp_path):
+        assert merged_stats(tmp_path) is None
+        assert hot_functions(tmp_path) == []
+        assert "no profile captures" in hot_functions_report(tmp_path)

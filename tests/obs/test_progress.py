@@ -1,0 +1,79 @@
+"""Progress line: TTY auto-suppression and rendering."""
+
+import io
+
+from repro.obs import ProgressLine
+from repro.runner import SweepRunner, TaskSpec
+
+
+def _specs(n):
+    return [
+        TaskSpec(fn="repro.models.mathis:mathis_window", args=(0.01 * (i + 1),))
+        for i in range(n)
+    ]
+
+
+class FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestSuppression:
+    def test_silent_when_stream_is_not_a_tty(self):
+        stream = io.StringIO()
+        progress = ProgressLine("fig5", stream=stream)
+        SweepRunner(observer=progress).map(_specs(2))
+        progress.close()
+        assert stream.getvalue() == ""
+
+    def test_draws_when_stream_is_a_tty(self):
+        stream = FakeTty()
+        progress = ProgressLine("fig5", stream=stream)
+        SweepRunner(observer=progress).map(_specs(2))
+        progress.close()
+        out = stream.getvalue()
+        assert "\r" in out
+        assert "[fig5] 2/2 done" in out
+        assert out.endswith("\n")
+
+    def test_enabled_false_overrides_a_tty(self):
+        stream = FakeTty()
+        progress = ProgressLine("fig5", stream=stream, enabled=False)
+        SweepRunner(observer=progress).map(_specs(1))
+        progress.close()
+        assert stream.getvalue() == ""
+
+    def test_enabled_true_overrides_a_pipe(self):
+        stream = io.StringIO()
+        progress = ProgressLine("fig5", stream=stream, enabled=True)
+        SweepRunner(observer=progress).map(_specs(1))
+        progress.close()
+        assert "[fig5] 1/1 done" in stream.getvalue()
+
+
+class TestRendering:
+    def test_counts_and_cached(self):
+        progress = ProgressLine("tab5", stream=io.StringIO(), enabled=True)
+        progress.sweep_started(4, 2)
+        progress.task_cached(0, _specs(1)[0])
+        progress.task_finished(1, _specs(1)[0], 2.0)
+        line = progress.render()
+        assert line.startswith("[tab5] 2/4 done")
+        assert "1 cached" in line
+        assert "2 workers" in line
+
+    def test_eta_extrapolates_from_completed_tasks(self):
+        progress = ProgressLine("tab5", stream=io.StringIO(), enabled=True)
+        progress.sweep_started(4, 2)
+        assert progress.eta_seconds() is None  # nothing to extrapolate yet
+        progress.task_finished(0, _specs(1)[0], 2.0)
+        progress.task_finished(1, _specs(1)[0], 4.0)
+        # mean 3s × 2 remaining / 2 workers
+        assert progress.eta_seconds() == 3.0
+        assert "ETA 3s" in progress.render()
+
+    def test_failures_are_called_out(self):
+        progress = ProgressLine("fig6", stream=io.StringIO(), enabled=True)
+        progress.sweep_started(2, 1)
+        progress.task_failed(0, _specs(1)[0], ValueError("x"))
+        assert "1 FAILED" in progress.render()

@@ -1,0 +1,215 @@
+"""Crash-safe sweeps: incremental caching, salvage accounting, and the
+deterministic re-raise.
+
+The salvage contract (docs/PERFORMANCE.md): a raising — or dying —
+worker loses only its own cell.  Every other cell still runs, is stored
+to the cache the moment it completes, and only then is the lowest-index
+failure re-raised with ``stats`` final.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.runner import ResultCache, SweepRunner, TaskSpec
+from repro.runner.pool import SweepObserver
+
+
+def double(x):
+    return 2 * x
+
+
+def boom(x, bad):
+    """Fails for ``x`` in ``bad``, doubles otherwise."""
+    if x in bad:
+        raise ValueError(f"boom {x}")
+    return 2 * x
+
+
+def die(x, bad, delay=0.0):
+    """Kills its worker process outright for ``x`` in ``bad``."""
+    if x in bad:
+        time.sleep(delay)
+        os._exit(13)
+    return 2 * x
+
+
+def _boom_specs(n, bad):
+    return [
+        TaskSpec(
+            fn="tests.runner.test_salvage:boom",
+            args=(i, tuple(bad)),
+            label=f"boom {i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestSerialSalvage:
+    def test_other_cells_run_and_cache_before_the_raise(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        runner = SweepRunner(cache=cache)
+        specs = _boom_specs(5, bad=(2,))
+        with pytest.raises(ValueError, match="boom 2"):
+            runner.map(specs)
+        assert runner.stats.failed == 1
+        assert runner.stats.salvaged == 4
+        assert runner.stats.executed == 5
+        for index, spec in enumerate(specs):
+            hit, value = cache.lookup(spec)
+            assert hit == (index != 2)
+            if hit:
+                assert value == 2 * index
+
+    def test_repeat_sweep_replays_salvaged_cells(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        specs = _boom_specs(5, bad=(2,))
+        with pytest.raises(ValueError):
+            SweepRunner(cache=cache).map(specs)
+        rerun = SweepRunner(cache=cache)
+        with pytest.raises(ValueError, match="boom 2"):
+            rerun.map(specs)
+        assert rerun.stats.cache_hits == 4
+        assert rerun.stats.executed == 1
+
+    def test_lowest_index_failure_is_raised(self):
+        with pytest.raises(ValueError, match="boom 1"):
+            SweepRunner().map(_boom_specs(5, bad=(1, 3)))
+
+    def test_failure_records_carry_the_error(self):
+        runner = SweepRunner()
+        with pytest.raises(ValueError):
+            runner.map(_boom_specs(3, bad=(1,)))
+        records = runner.stats.records
+        assert [r.error is not None for r in records] == [False, True, False]
+        assert "boom 1" in records[1].error
+        assert records[0].seconds is not None
+
+    def test_clean_sweep_has_no_salvage(self):
+        runner = SweepRunner()
+        results = runner.map(_boom_specs(3, bad=()))
+        assert results == [0, 2, 4]
+        assert runner.stats.salvaged == 0
+        assert runner.stats.failed == 0
+
+
+class TestPoolSalvage:
+    def test_other_cells_run_and_cache_before_the_raise(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        runner = SweepRunner(jobs=3, cache=cache)
+        specs = _boom_specs(6, bad=(4,))
+        with pytest.raises(ValueError, match="boom 4"):
+            runner.map(specs)
+        assert runner.stats.failed == 1
+        assert runner.stats.salvaged == 5
+        for index, spec in enumerate(specs):
+            hit, _ = cache.lookup(spec)
+            assert hit == (index != 4)
+
+    def test_lowest_index_failure_is_raised_at_any_jobs(self):
+        for jobs in (1, 2, 4):
+            with pytest.raises(ValueError, match="boom 1"):
+                SweepRunner(jobs=jobs).map(_boom_specs(6, bad=(1, 5)))
+
+    def test_worker_death_preserves_completed_cache_entries(self, tmp_path):
+        # The dying cell sleeps long enough for every other cell to
+        # finish first; each of those results must already be on disk
+        # when the crash tears the pool down.
+        cache = ResultCache(root=tmp_path)
+        runner = SweepRunner(jobs=2, cache=cache)
+        specs = [
+            TaskSpec(
+                fn="tests.runner.test_salvage:die",
+                args=(i, (3,)),
+                kwargs={"delay": 1.0},
+                label=f"die {i}",
+            )
+            for i in range(4)
+        ]
+        with pytest.raises(Exception):  # BrokenProcessPool
+            runner.map(specs)
+        assert runner.stats.failed == 1
+        assert runner.stats.salvaged == 3
+        for index in range(3):
+            hit, value = cache.lookup(specs[index])
+            assert hit
+            assert value == 2 * index
+        hit, _ = cache.lookup(specs[3])
+        assert not hit
+
+
+class RecordingObserver(SweepObserver):
+    def __init__(self):
+        self.events = []
+
+    def sweep_started(self, total, jobs):
+        self.events.append(("sweep_started", total, jobs))
+
+    def task_queued(self, index, spec):
+        self.events.append(("task_queued", index))
+
+    def task_cached(self, index, spec):
+        self.events.append(("task_cached", index))
+
+    def task_started(self, index, spec):
+        self.events.append(("task_started", index))
+
+    def task_finished(self, index, spec, seconds):
+        self.events.append(("task_finished", index))
+
+    def task_failed(self, index, spec, error):
+        self.events.append(("task_failed", index))
+
+    def sweep_finished(self, stats):
+        self.events.append(("sweep_finished", stats.executed, stats.failed))
+
+
+class ExplodingObserver(SweepObserver):
+    def task_finished(self, index, spec, seconds):
+        raise RuntimeError("observer bug")
+
+
+class TestObserver:
+    def test_lifecycle_events_in_order(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        specs = _boom_specs(3, bad=())
+        SweepRunner(cache=cache).map(specs[:1])  # pre-warm spec 0
+        observer = RecordingObserver()
+        runner = SweepRunner(cache=cache, observer=observer)
+        runner.map(specs)
+        assert observer.events == [
+            ("sweep_started", 3, 1),
+            ("task_cached", 0),
+            ("task_queued", 1),
+            ("task_queued", 2),
+            ("task_started", 1),
+            ("task_finished", 1),
+            ("task_started", 2),
+            ("task_finished", 2),
+            ("sweep_finished", 2, 0),
+        ]
+
+    def test_failure_event_and_final_stats(self):
+        observer = RecordingObserver()
+        runner = SweepRunner(observer=observer)
+        with pytest.raises(ValueError):
+            runner.map(_boom_specs(2, bad=(0,)))
+        assert ("task_failed", 0) in observer.events
+        assert observer.events[-1] == ("sweep_finished", 2, 1)
+
+    def test_raising_observer_is_disabled_not_fatal(self, capsys):
+        runner = SweepRunner(observer=ExplodingObserver())
+        results = runner.map(_boom_specs(3, bad=()))
+        assert results == [0, 2, 4]
+        assert runner.observer is None
+        assert "observer failed" in capsys.readouterr().err
+
+    def test_pool_path_fans_out_events(self):
+        observer = RecordingObserver()
+        runner = SweepRunner(jobs=2, observer=observer)
+        runner.map(_boom_specs(4, bad=()))
+        kinds = [event[0] for event in observer.events]
+        assert kinds.count("task_finished") == 4
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
