@@ -68,6 +68,35 @@ class ConfigurationError(ReproError):
     """Invalid configuration passed to a component."""
 
 
+class TaskTimeoutError(ReproError):
+    """A sweep task overran its wall-clock deadline and was killed.
+
+    Raised (as the task's failure) by the
+    :class:`~repro.runner.pool.SweepRunner` dispatch loop when a cell
+    runs past ``task_timeout``: the worker is killed, the pool is
+    respawned, and the cell is retried under the runner's
+    :class:`~repro.runner.resilience.RetryPolicy` until its budget is
+    exhausted — at which point it is quarantined and this error
+    surfaces as the sweep failure.
+    """
+
+    def __init__(self, message: str, digest: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.digest = digest
+        self.attempts = attempts
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died (SIGKILL, ``os._exit``, OOM-kill) while
+    tasks were in flight.
+
+    The dispatch loop cannot attribute a spontaneous pool break to one
+    specific cell, so every in-flight cell is charged one attempt and
+    retried on a fresh pool; the repeat offender exhausts its budget
+    and is quarantined while innocent bystanders complete normally.
+    """
+
+
 class TopologyError(ReproError):
     """A topology/routing problem: unknown node, unreachable destination."""
 
@@ -83,4 +112,17 @@ class SnapshotError(ReproError):
     is inside :meth:`~repro.sim.engine.Simulator.run`, loading a file
     with a mismatched format version, or a payload whose recomputed
     state digest disagrees with the recorded one.
+    """
+
+
+class SnapshotFormatError(SnapshotError):
+    """A snapshot/delta file carries a format this build cannot read.
+
+    Distinguished from plain :class:`SnapshotError` so store-level
+    policy can tell *foreign* (written by a build with a different
+    ``SNAPSHOT_FORMAT``/``DELTA_FORMAT`` — valid, just not for us;
+    degrade to recompute and leave the file alone) from *corrupt*
+    (truncated/bit-flipped — quarantine it).  See
+    :meth:`repro.runner.warmstart.SnapshotStore.intact` and the
+    ``fsck`` command.
     """

@@ -39,6 +39,7 @@ from repro.runner import (
     SnapshotStore,
     SweepRunner,
     TaskSpec,
+    fetch_prefix,
     step_until,
     warm_specs,
 )
@@ -170,7 +171,7 @@ def run_point_from_snapshot(
 ) -> AckLossRow:
     """One (variant, rate) point with every run restored from the frozen
     pre-burst prefix."""
-    snapshot = SnapshotStore(store_root).get(digest)
+    snapshot = fetch_prefix(digest, store_root)
     measurements = [
         _measure_from(
             snapshot.restore(verify=False), variant, ack_rate, run, config

@@ -21,6 +21,12 @@ Every run writes a provenance manifest (plus a JSONL event log) to
 force the live progress line on/off (default: only on a TTY) and
 ``--profile`` captures a cProfile per executed task and prints the
 merged hot-function table.  See docs/OBSERVABILITY.md.
+
+Fault tolerance (docs/RESILIENCE.md): ``--max-retries`` re-runs
+failing cells on a deterministic backoff schedule, ``--task-timeout``
+kills and retries cells that overrun a wall-clock deadline, and
+``python -m repro.experiments fsck`` verifies/repairs the on-disk
+result cache and snapshot store.
 """
 
 from __future__ import annotations
@@ -201,12 +207,75 @@ def format_listing() -> str:
     lines.append(f"  {'all':<{width}}  run every experiment above")
     lines.append(f"aliases: {alias_bits}")
     lines.append("snapshot tools: python -m repro.experiments snapshot --help")
+    lines.append("storage fsck:   python -m repro.experiments fsck --help")
     return "\n".join(lines)
 
 
-def build_runner(jobs: int = 1, cache: bool = True) -> SweepRunner:
-    """The CLI's sweep runner: N workers + the default on-disk cache."""
-    return SweepRunner(jobs=jobs, cache=ResultCache() if cache else None)
+def build_runner(
+    jobs: int = 1,
+    cache: bool = True,
+    max_retries: int = 1,
+    task_timeout: Optional[float] = None,
+) -> SweepRunner:
+    """The CLI's sweep runner: N workers + the default on-disk cache,
+    with one deterministic retry per failing cell by default (see
+    docs/RESILIENCE.md; ``--max-retries 0`` restores fail-fast)."""
+    from repro.runner import RetryPolicy
+
+    policy = RetryPolicy(max_retries=max_retries) if max_retries > 0 else None
+    return SweepRunner(
+        jobs=jobs,
+        cache=ResultCache() if cache else None,
+        retry_policy=policy,
+        task_timeout=task_timeout,
+    )
+
+
+def fsck_cli(argv: List[str]) -> int:
+    """``python -m repro.experiments fsck ...``: verify (and repair)
+    the on-disk result cache and snapshot store.
+
+    Corrupt artifacts are quarantined, dangling prefix-index entries
+    removed; ``--dry-run`` reports without touching anything and
+    ``--rebuild`` additionally recomputes lost prefix snapshots from
+    their recorded specs (see docs/RESILIENCE.md).  Exits non-zero when
+    issues were found and left unrepaired.
+    """
+    from repro.runner import fsck
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments fsck",
+        description="Verify and self-heal the sweep result cache and"
+        " snapshot store (see docs/RESILIENCE.md).",
+    )
+    parser.add_argument(
+        "--cache-root",
+        metavar="DIR",
+        default=None,
+        help="cache root to sweep (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report issues without quarantining or removing anything",
+    )
+    parser.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="also recompute missing/corrupt prefix snapshots from their"
+        " recorded prefix specs (writes to the store)",
+    )
+    args = parser.parse_args(argv)
+    report = fsck(
+        cache_root=Path(args.cache_root) if args.cache_root else None,
+        repair=not args.dry_run,
+        rebuild=args.rebuild,
+    )
+    print(report.summary())
+    unrepaired = sum(
+        1 for issue in report.issues if issue.action == "reported"
+    )
+    return 1 if unrepaired else 0
 
 
 def snapshot_cli(argv: List[str]) -> int:
@@ -366,6 +435,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "snapshot":
         return snapshot_cli(list(argv[1:]))
+    if argv and argv[0] == "fsck":
+        return fsck_cli(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of 'Robust TCP Congestion"
@@ -374,9 +445,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + sorted(ALIASES) + ["all", "snapshot"],
-        help="experiment id from DESIGN.md, or 'snapshot' for the"
-        " checkpoint tools",
+        choices=sorted(EXPERIMENTS) + sorted(ALIASES) + ["all", "snapshot", "fsck"],
+        help="experiment id from DESIGN.md, 'snapshot' for the"
+        " checkpoint tools, or 'fsck' for storage verification",
     )
     parser.add_argument(
         "--list",
@@ -462,6 +533,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         " runs/<run_id>/profiles/ and print the merged hot-function"
         " table (see docs/OBSERVABILITY.md)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="deterministic retries per failing cell before it is"
+        " quarantined (default 1; 0 = fail fast; see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per cell execution; an overrunning"
+        " worker is killed and the cell retried under --max-retries"
+        " (default: no deadline)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print(format_listing())
@@ -473,12 +561,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
-    runner = build_runner(jobs=args.jobs, cache=args.cache)
+    runner = build_runner(
+        jobs=args.jobs,
+        cache=args.cache,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+    )
     invocation = {
         "quick": args.quick,
         "jobs": args.jobs,
         "cache": args.cache,
         "warm_start": args.warm_start,
+        "max_retries": args.max_retries,
+        "task_timeout": args.task_timeout,
     }
     for name in names:
         telemetry = RunTelemetry(

@@ -49,6 +49,7 @@ from repro.runner import (
     SnapshotStore,
     SweepRunner,
     TaskSpec,
+    load_prefix,
     step_until,
     warm_specs,
 )
@@ -222,12 +223,13 @@ def run_single_from_snapshot(
     identity therefore changes automatically whenever the warm-up
     prefix it continues from changes.
     """
-    snapshot = SnapshotStore(store_root).get(digest)
     # verify=False: the store is content-addressed (the key IS the state
     # digest recorded at capture), and re-hashing the world per cell
     # would cost a noticeable slice of the warm-start win; the fork
     # tests assert the stronger end-to-end property (rows == cold rows).
-    scenario = snapshot.restore(verify=False)
+    # load_prefix self-heals a missing/corrupt store entry by
+    # recomputing the prefix from its recorded spec (docs/RESILIENCE.md).
+    scenario = load_prefix(digest, store_root, verify=False)
     scenario.dumbbell.forward_link.loss.reprogram(_cell_drops(n_drops, config))
     return _finish(scenario, variant, n_drops, config)
 

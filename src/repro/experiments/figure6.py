@@ -33,6 +33,7 @@ from repro.runner import (
     SnapshotStore,
     SweepRunner,
     TaskSpec,
+    load_prefix,
     warm_specs,
 )
 from repro.sim.rng import RngStream
@@ -154,7 +155,7 @@ def run_variant_from_snapshot(
     store_root: Optional[str] = None,
 ) -> Figure6FlowResult:
     """Run one cell warm-started from the stored prefix snapshot."""
-    scenario = SnapshotStore(store_root).get(digest).restore(verify=False)
+    scenario = load_prefix(digest, store_root, verify=False)
     return _finish(scenario, variant, config)
 
 

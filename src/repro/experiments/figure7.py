@@ -36,6 +36,7 @@ from repro.runner import (
     SnapshotStore,
     SweepRunner,
     TaskSpec,
+    fetch_prefix,
     warm_specs,
 )
 from repro.sim.rng import RngStream
@@ -169,7 +170,7 @@ def run_point_from_snapshot(
 ) -> Figure7Point:
     """One (variant, p) point with every run restored from the frozen
     loss-free prefix instead of re-simulating start-up."""
-    snapshot = SnapshotStore(store_root).get(digest)
+    snapshot = fetch_prefix(digest, store_root)
     measurements = [
         _measure_from(
             snapshot.restore(verify=False), loss_rate, config.seed + run, config

@@ -33,6 +33,7 @@ from repro.runner import (
     SnapshotStore,
     SweepRunner,
     TaskSpec,
+    load_prefix,
     warm_specs,
 )
 from repro.sim.rng import RngStream
@@ -204,7 +205,7 @@ def run_replica_from_snapshot(
     store_root: Optional[str] = None,
 ):
     """One replication warm-started from the frozen background system."""
-    scenario = SnapshotStore(store_root).get(digest).restore(verify=False)
+    scenario = load_prefix(digest, store_root, verify=False)
     return _finish_replica(_attach_target(scenario, target_variant, config), config)
 
 

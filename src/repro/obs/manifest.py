@@ -72,7 +72,8 @@ class RunManifest:
 
     ``tasks`` holds one entry per sweep task the run executed or
     replayed: ``{"sweep": n, "index": i, "label": ..., "digest": ...,
-    "cached": bool, "seconds": float|None, "error": str|None}``.
+    "cached": bool, "seconds": float|None, "error": str|None}``; failed
+    entries additionally carry ``"quarantined": bool``.
     """
 
     run_id: str
@@ -89,6 +90,16 @@ class RunManifest:
     executed: int = 0
     salvaged: int = 0
     failed: int = 0
+    #: Retry executions performed across the run's sweeps (see
+    #: docs/RESILIENCE.md; 0 on a clean run and in pre-resilience
+    #: manifests, which load fine via this default).
+    retried: int = 0
+    #: Tasks quarantined as poison (budget exhausted on
+    #: timeouts/crashes); their QuarantineRecords live under
+    #: ``runs/<run_id>/quarantine/``.
+    quarantined: int = 0
+    #: Completed results the cache failed to persist.
+    cache_store_failures: int = 0
     wall_seconds: float = 0.0
     warm_prefix_hits: Optional[int] = None
     warm_prefix_captures: Optional[int] = None

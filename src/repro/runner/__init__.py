@@ -5,11 +5,14 @@ The experiment layer describes each simulation cell as a
 canonically-hashable arguments), and a :class:`SweepRunner` fans the
 cells out over a process pool and/or replays them from an on-disk
 :class:`ResultCache` keyed by ``(task digest, code fingerprint)``.
-See docs/PERFORMANCE.md for the architecture and guarantees.
+See docs/PERFORMANCE.md for the architecture and guarantees, and
+docs/RESILIENCE.md for the fault-tolerance layer (:class:`RetryPolicy`,
+task deadlines, quarantine, storage self-healing and ``fsck``).
 """
 
 from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.fingerprint import code_fingerprint, package_root
+from repro.runner.fsck import FsckIssue, FsckReport, fsck
 from repro.runner.pool import (
     SweepObserver,
     SweepRunner,
@@ -18,12 +21,21 @@ from repro.runner.pool import (
     default_jobs,
     run_tasks,
 )
-from repro.runner.spec import TaskSpec, canonicalize, resolve
+from repro.runner.resilience import (
+    QUARANTINE_SUBDIR,
+    QuarantineRecord,
+    RetryPolicy,
+    read_quarantine,
+)
+from repro.runner.spec import TaskSpec, canonicalize, resolve, uncanonicalize
 from repro.runner.warmstart import (
     PREFIX_INDEX_SUBDIR,
+    PREFIX_META_SUBDIR,
     PrefixSpec,
     SNAPSHOT_SUBDIR,
     SnapshotStore,
+    fetch_prefix,
+    load_prefix,
     step_until,
     warm_specs,
 )
@@ -31,9 +43,15 @@ from repro.runner.warmstart import (
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "FsckIssue",
+    "FsckReport",
     "PREFIX_INDEX_SUBDIR",
+    "PREFIX_META_SUBDIR",
     "PrefixSpec",
+    "QUARANTINE_SUBDIR",
+    "QuarantineRecord",
     "ResultCache",
+    "RetryPolicy",
     "SNAPSHOT_SUBDIR",
     "SnapshotStore",
     "SweepObserver",
@@ -44,9 +62,14 @@ __all__ = [
     "canonicalize",
     "code_fingerprint",
     "default_jobs",
+    "fetch_prefix",
+    "fsck",
+    "load_prefix",
     "package_root",
+    "read_quarantine",
     "resolve",
     "run_tasks",
     "step_until",
+    "uncanonicalize",
     "warm_specs",
 ]

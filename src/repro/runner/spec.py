@@ -71,6 +71,54 @@ def canonicalize(value: Any) -> Any:
     )
 
 
+def uncanonicalize(value: Any) -> Any:
+    """Rebuild a live value from its :func:`canonicalize` encoding.
+
+    The inverse, up to canonical equivalence: tagged dataclass dicts
+    are re-instantiated (the class is imported by its recorded dotted
+    name), ``__set__`` tags become sets, and JSON arrays come back as
+    lists (tuples canonicalize to the same JSON, so the round-tripped
+    value has the same digest even when the original held tuples).
+    Used by the storage self-healing path to re-run a prefix spec whose
+    snapshot went missing or corrupt — see
+    :func:`repro.runner.warmstart.load_prefix`.
+    """
+    if isinstance(value, dict):
+        if "__dataclass__" in value and "fields" in value:
+            dotted = value["__dataclass__"]
+            # ``module.qualname`` where both halves may contain dots
+            # (packages / nested classes): import the longest prefix
+            # that is a module, getattr the rest.
+            parts = dotted.split(".")
+            target: Any = None
+            for split in range(len(parts) - 1, 0, -1):
+                try:
+                    target = importlib.import_module(".".join(parts[:split]))
+                except ImportError:
+                    continue
+                for part in parts[split:]:
+                    target = getattr(target, part)
+                break
+            if target is None:
+                raise ConfigurationError(f"cannot import dataclass {dotted!r}")
+            kwargs = {
+                name: uncanonicalize(child)
+                for name, child in value["fields"].items()
+            }
+            try:
+                return target(**kwargs)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"cannot rebuild {dotted!r} from canonical fields: {exc}"
+                ) from exc
+        if "__set__" in value and len(value) == 1:
+            return {uncanonicalize(item) for item in value["__set__"]}
+        return {key: uncanonicalize(child) for key, child in value.items()}
+    if isinstance(value, list):
+        return [uncanonicalize(item) for item in value]
+    return value
+
+
 def resolve(path: str) -> Callable[..., Any]:
     """Import the callable named by ``"package.module:attr"``."""
     module_name, _, attr = path.partition(":")
@@ -112,6 +160,40 @@ class TaskSpec:
     def digest(self) -> str:
         """Stable SHA-256 content address of the call."""
         return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_canonical(cls, text: str, label: str = "") -> "TaskSpec":
+        """Rebuild a spec from its :meth:`canonical` JSON encoding.
+
+        Round-trip safe: the rebuilt spec's :meth:`canonical` equals
+        ``text`` (tuples come back as lists, which canonicalize
+        identically), so its digest — and therefore its cache and
+        prefix-index identity — is unchanged.  Raises
+        :class:`~repro.errors.ConfigurationError` when the encoding
+        does not parse or names an unimportable dataclass.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"canonical task spec does not parse as JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "fn" not in payload:
+            raise ConfigurationError(
+                "canonical task spec must be an object with an 'fn' key"
+            )
+        spec = cls(
+            fn=payload["fn"],
+            args=tuple(uncanonicalize(payload.get("args", []) or [])),
+            kwargs=uncanonicalize(payload.get("kwargs", {}) or {}),
+            label=label,
+        )
+        if spec.canonical() != text:
+            raise ConfigurationError(
+                "canonical task spec did not round-trip — the encoding "
+                "drifted or the file was edited by hand"
+            )
+        return spec
 
     def run(self) -> Any:
         """Execute the cell in the current process."""

@@ -51,8 +51,9 @@ import tempfile
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.errors import SnapshotError
+from repro.errors import SnapshotError, SnapshotFormatError
 from repro.runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+from repro.runner.resilience import QUARANTINE_SUBDIR, QuarantineRecord
 from repro.runner.spec import TaskSpec
 from repro.snapshot import Snapshot, SnapshotInfo
 from repro.snapshot.delta import DeltaInfo, DeltaSnapshot, should_fall_back
@@ -63,6 +64,12 @@ SNAPSHOT_SUBDIR = "snapshots"
 #: Subdirectory (inside the store root) mapping prefix-spec digests to
 #: snapshot digests, per code fingerprint.
 PREFIX_INDEX_SUBDIR = "prefix-index"
+
+#: Subdirectory (inside the store root) mapping *snapshot* digests back
+#: to the canonical prefix spec that captured them — the self-healing
+#: layer's recipe for recomputing a lost/corrupt prefix from cold
+#: (:func:`load_prefix`) and ``fsck --rebuild``'s repair input.
+PREFIX_META_SUBDIR = "prefix-meta"
 
 #: Safety bound on ``.delta`` base chains (a delta whose base is itself
 #: a delta, etc.).  Forks diff against full prefixes in practice, so
@@ -222,6 +229,70 @@ class SnapshotStore:
         return self.path_for(digest).exists() or self.delta_path_for(digest).exists()
 
     # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_SUBDIR
+
+    def quarantine(self, path: Path, digest: str, reason: str) -> None:
+        """Move a corrupt store file aside (never delete evidence) and
+        leave a structured record.  Best-effort, same contract as the
+        result cache's quarantine: failing to quarantine must not mask
+        the corruption that triggered it."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+            QuarantineRecord(
+                digest=digest,
+                label=str(path),
+                kind="snapshot" if path.suffix == ".snap" else "delta",
+                reason=reason,
+                path=str(self.quarantine_dir / path.name),
+            ).write(self.quarantine_dir)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def intact(self, digest: str, _depth: int = 0) -> bool:
+        """True when ``digest`` is stored *and readable by this build*.
+
+        The read-path gate for self-healing: a truncated or bit-flipped
+        file is quarantined on the spot and reported missing (so the
+        caller recaptures — cold-start degrade), while a file written
+        by a *different* format version (foreign ``SNAPSHOT_FORMAT`` /
+        ``DELTA_FORMAT``) is left untouched but still reported missing:
+        mixed-version stores degrade to recompute instead of refusing
+        (see docs/RESILIENCE.md).  Deltas are intact only when their
+        whole base chain is.
+        """
+        path = self.path_for(digest)
+        if path.exists():
+            try:
+                Snapshot.verify_file(path)
+                return True
+            except SnapshotFormatError:
+                return False
+            except SnapshotError as error:
+                self.quarantine(path, digest, str(error))
+                return False
+        delta_path = self.delta_path_for(digest)
+        if delta_path.exists():
+            if _depth >= MAX_DELTA_CHAIN:
+                return False
+            try:
+                info = DeltaSnapshot.verify_file(delta_path)
+            except SnapshotFormatError:
+                return False
+            except SnapshotError as error:
+                self.quarantine(delta_path, digest, str(error))
+                return False
+            return self.intact(info.base_digest, _depth + 1)
+        return False
+
+    # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
     def put(self, snapshot: Snapshot) -> str:
@@ -234,7 +305,12 @@ class SnapshotStore:
         digest = snapshot.digest
         path = self.path_for(digest)
         if path.exists():
-            return digest
+            # Content-addressed, so an *intact* existing file is
+            # byte-equivalent and can be kept; a corrupt or foreign one
+            # is replaced — latest-writer-wins is safe for a store that
+            # is a cache, and it is how ``load_prefix`` heals corruption.
+            if self.intact(digest):
+                return digest
         self._atomic_write(path, snapshot.save)
         return digest
 
@@ -247,9 +323,14 @@ class SnapshotStore:
         care which representation won; :meth:`get` resolves both.
         """
         digest = snapshot.digest
-        if self.contains(digest):
+        if self.intact(digest):
             return digest
-        base = self.get(base_digest)
+        try:
+            base = self.get(base_digest)
+        except SnapshotError:
+            # Base missing, foreign, or quarantined mid-flight: a delta
+            # would be born broken, so store the fork in full instead.
+            return self.put(snapshot)
         delta = DeltaSnapshot.diff(snapshot, base)
         if should_fall_back(delta, snapshot):
             return self.put(snapshot)
@@ -279,7 +360,13 @@ class SnapshotStore:
     def _get(self, digest: str, depth: int) -> Snapshot:
         path = self.path_for(digest)
         if path.exists():
-            return Snapshot.load(path)
+            try:
+                return Snapshot.load(path)
+            except SnapshotFormatError:
+                raise
+            except SnapshotError as error:
+                self.quarantine(path, digest, str(error))
+                raise
         delta_path = self.delta_path_for(digest)
         if delta_path.exists():
             if depth >= MAX_DELTA_CHAIN:
@@ -287,7 +374,13 @@ class SnapshotStore:
                     f"delta chain deeper than {MAX_DELTA_CHAIN} resolving "
                     f"{digest[:12]}… — the store is corrupted or cyclic"
                 )
-            delta = DeltaSnapshot.load(delta_path)
+            try:
+                delta = DeltaSnapshot.load(delta_path)
+            except SnapshotFormatError:
+                raise
+            except SnapshotError as error:
+                self.quarantine(delta_path, digest, str(error))
+                raise
             base = self._get(delta.info.base_digest, depth + 1)
             return delta.rebuild(base)
         raise SnapshotError(
@@ -333,7 +426,7 @@ class SnapshotStore:
             entry = json.loads(index_path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             return None
-        if entry and self.contains(entry.get("snapshot", "")):
+        if entry and self.intact(entry.get("snapshot", "")):
             return entry["snapshot"]
         return None
 
@@ -360,19 +453,88 @@ class SnapshotStore:
         index_path = self._prefix_index_path(spec, fingerprint)
         snapshot = spec.capture()
         digest = self.put(snapshot)
-        index_path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=index_path.parent, suffix=".tmp")
+        self._write_json_atomic(
+            index_path, {"snapshot": digest, "spec": spec.canonical()}
+        )
+        self._write_json_atomic(
+            self._prefix_meta_path(digest),
+            {"snapshot": digest, "spec": spec.canonical(), "label": spec.label},
+        )
+        return digest
+
+    def _write_json_atomic(self, path: Path, payload: Dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         os.close(fd)
         try:
-            Path(tmp_name).write_text(
-                json.dumps({"snapshot": digest, "spec": spec.canonical()}),
-                encoding="utf-8",
-            )
-            os.replace(tmp_name, index_path)
+            Path(tmp_name).write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp_name, path)
         except OSError:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
-        return digest
+
+    def _prefix_meta_path(self, digest: str) -> Path:
+        return self.root / PREFIX_META_SUBDIR / f"{digest}.json"
+
+    def prefix_spec_for(self, digest: str) -> Optional[PrefixSpec]:
+        """The :class:`PrefixSpec` that captured snapshot ``digest``,
+        rebuilt from the prefix-meta reverse index — or None when the
+        snapshot predates the meta index (pre-resilience stores) or was
+        never a prefix capture.  This is the recompute recipe behind
+        :func:`load_prefix` and ``fsck --rebuild``."""
+        meta_path = self._prefix_meta_path(digest)
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        canonical = meta.get("spec")
+        if not canonical:
+            return None
+        try:
+            return PrefixSpec.from_canonical(canonical, label=meta.get("label", ""))
+        except Exception:  # noqa: BLE001 - a broken recipe is "no recipe"
+            return None
+
+
+def fetch_prefix(digest: str, store_root=None) -> Snapshot:
+    """The frozen prefix snapshot ``digest``, healing the store if
+    needed.
+
+    Self-healing: when the stored file is missing, truncated,
+    bit-flipped, or written by a foreign format version, the prefix is
+    *recomputed from its recipe* (the canonical spec recorded in the
+    prefix-meta index at capture time) and the recomputed snapshot is
+    put back into the store for the next reader.  Recomputation is
+    bit-equivalent — the prefix callable is deterministic in its spec —
+    and the recomputed state digest is verified against the requested
+    one, so a drifted recipe raises instead of silently substituting a
+    different world.  Snapshots with no recorded recipe (pre-resilience
+    stores, non-prefix snapshots) re-raise the original storage error.
+    """
+    store = SnapshotStore(store_root)
+    try:
+        return store.get(digest)
+    except SnapshotError as error:
+        spec = store.prefix_spec_for(digest)
+        if spec is None:
+            raise
+        snapshot = spec.capture()
+        if snapshot.digest != digest:
+            raise SnapshotError(
+                f"recomputing prefix {digest[:12]}… from its recorded spec "
+                f"produced state digest {snapshot.digest[:12]}… — the code "
+                "or the recipe drifted; refusing to substitute"
+            ) from error
+        store.put(snapshot)
+        return snapshot
+
+
+def load_prefix(digest: str, store_root=None, verify: bool = False):
+    """Restore the frozen prefix world ``digest`` — the cell-side entry
+    point warm harness cells use instead of a bare
+    ``store.get(digest).restore()`` — with :func:`fetch_prefix`'s
+    self-healing on the way."""
+    return fetch_prefix(digest, store_root).restore(verify=verify)

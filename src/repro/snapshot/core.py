@@ -40,6 +40,7 @@ the pattern explicit.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import pickle
@@ -47,10 +48,17 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import SnapshotError
+from repro.errors import SnapshotError, SnapshotFormatError
 from repro.net.packet import set_uid_state, uid_state
 from repro.sim.engine import Simulator
 from repro.snapshot.digest import state_digest
+
+
+def payload_checksum(payload: bytes) -> str:
+    """Cheap integrity checksum over the raw payload bytes (recorded in
+    the header, verified on load — catches truncation and bit flips
+    without paying for an unpickle or a state-digest recompute)."""
+    return hashlib.blake2b(payload, digest_size=32).hexdigest()
 
 #: On-disk format version (bump on incompatible layout changes).
 #: 1 — single ``{"world", "uid_next"}`` pickle; 2 — sectioned payload
@@ -86,6 +94,9 @@ class SnapshotInfo:
     format: int = SNAPSHOT_FORMAT
     #: ``(name, nbytes)`` per payload section, in stream order.
     sections: Tuple[Tuple[str, int], ...] = ()
+    #: blake2b over the payload bytes; empty on files written before
+    #: the integrity layer (then only the state-digest check applies).
+    checksum: str = ""
 
 
 def _default_getstate(cls: type):
@@ -208,14 +219,16 @@ class Snapshot:
                 "(closures in scheduled events or callbacks are the usual "
                 "culprit — use named callables)"
             ) from exc
+        payload = stream.getvalue()
         info = SnapshotInfo(
             digest=digest,
             sim_time=sim.now,
             events_processed=sim.events_processed,
             label=label,
             sections=tuple(sections),
+            checksum=payload_checksum(payload),
         )
-        return cls(stream.getvalue(), info)
+        return cls(payload, info)
 
     @staticmethod
     def _find_sim(world: Any) -> Simulator:
@@ -262,7 +275,7 @@ class Snapshot:
         is recomputed and checked against the captured one.
         """
         if self.info.format != SNAPSHOT_FORMAT:
-            raise SnapshotError(
+            raise SnapshotFormatError(
                 f"snapshot format {self.info.format} is not supported "
                 f"(this build reads format {SNAPSHOT_FORMAT})"
             )
@@ -331,7 +344,7 @@ class Snapshot:
         return path
 
     @classmethod
-    def load(cls, path) -> "Snapshot":
+    def load(cls, path, verify_checksum: bool = True) -> "Snapshot":
         path = Path(path)
         try:
             with open(path, "rb") as fh:
@@ -340,7 +353,49 @@ class Snapshot:
         except OSError as exc:
             raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
         info = cls._parse_header(path, header_line)
+        if verify_checksum and info.checksum:
+            actual = payload_checksum(payload)
+            if actual != info.checksum:
+                raise SnapshotError(
+                    f"{path} payload checksum mismatch "
+                    f"({actual[:12]}… != recorded {info.checksum[:12]}…) — "
+                    "truncated or bit-flipped snapshot"
+                )
         return cls(payload, info)
+
+    @staticmethod
+    def verify_file(path) -> SnapshotInfo:
+        """Integrity-check a snapshot file without unpickling anything.
+
+        Parses the header (raising :class:`~repro.errors.
+        SnapshotFormatError` on a foreign format), re-hashes the
+        payload against the recorded checksum, and cross-checks the
+        section table against the payload length.  Returns the header
+        info on success; raises :class:`~repro.errors.SnapshotError`
+        on corruption.  This is the ``fsck`` primitive.
+        """
+        path = Path(path)
+        try:
+            with open(path, "rb") as fh:
+                header_line = fh.readline()
+                payload = fh.read()
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        info = Snapshot._parse_header(path, header_line)
+        if info.checksum:
+            actual = payload_checksum(payload)
+            if actual != info.checksum:
+                raise SnapshotError(
+                    f"{path} payload checksum mismatch — truncated or "
+                    "bit-flipped snapshot"
+                )
+        expected = sum(nbytes for _, nbytes in info.sections)
+        if info.sections and expected != len(payload):
+            raise SnapshotError(
+                f"{path} payload is {len(payload)} bytes but the section "
+                f"table sums to {expected} — truncated snapshot"
+            )
+        return info
 
     @staticmethod
     def read_info(path) -> SnapshotInfo:
@@ -363,18 +418,24 @@ class Snapshot:
             raise SnapshotError(f"{path} is not a snapshot file (bad magic)")
         fmt = header.get("format", -1)
         if fmt != SNAPSHOT_FORMAT:
-            raise SnapshotError(
+            raise SnapshotFormatError(
                 f"{path} has snapshot format {fmt}; this build reads "
                 f"format {SNAPSHOT_FORMAT}"
             )
-        return SnapshotInfo(
-            digest=header["digest"],
-            sim_time=header["sim_time"],
-            events_processed=header["events_processed"],
-            label=header.get("label", ""),
-            format=fmt,
-            sections=tuple(
-                (str(name), int(nbytes))
-                for name, nbytes in header.get("sections", [])
-            ),
-        )
+        try:
+            return SnapshotInfo(
+                digest=header["digest"],
+                sim_time=header["sim_time"],
+                events_processed=header["events_processed"],
+                label=header.get("label", ""),
+                format=fmt,
+                sections=tuple(
+                    (str(name), int(nbytes))
+                    for name, nbytes in header.get("sections", [])
+                ),
+                checksum=header.get("checksum", ""),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"{path} has a malformed snapshot header: {exc!r}"
+            ) from exc

@@ -32,12 +32,12 @@ import hashlib
 import io
 import json
 import zlib
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import SnapshotError
-from repro.snapshot.core import Snapshot, SnapshotInfo
+from repro.errors import SnapshotError, SnapshotFormatError
+from repro.snapshot.core import Snapshot, SnapshotInfo, payload_checksum
 
 #: On-disk delta format version (bump on incompatible layout changes).
 DELTA_FORMAT = 1
@@ -171,6 +171,9 @@ class DeltaInfo:
     label: str
     format: int = DELTA_FORMAT
     sections: Tuple[Tuple[str, int], ...] = ()  # target section table
+    #: blake2b over the stored body (the concatenated literal bytes);
+    #: empty on files written before the integrity layer.
+    checksum: str = ""
 
 
 class DeltaSnapshot:
@@ -250,14 +253,16 @@ class DeltaSnapshot:
                     f"says {nbytes} — wrong base snapshot for this delta"
                 )
             payload.write(data)
+        data = payload.getvalue()
         info = SnapshotInfo(
             digest=self.info.digest,
             sim_time=self.info.sim_time,
             events_processed=self.info.events_processed,
             label=self.info.label,
             sections=self.info.sections,
+            checksum=payload_checksum(data),
         )
-        return Snapshot(payload.getvalue(), info)
+        return Snapshot(data, info)
 
     # ------------------------------------------------------------------
     # sizing
@@ -299,6 +304,10 @@ class DeltaSnapshot:
             else:
                 sections_meta.append([name, "+", len(entry[1]), None])
                 body.write(entry[1])
+        body_bytes = body.getvalue()
+        # Stamp the body checksum on the in-memory info too, so a saved
+        # delta's info equals its re-loaded info.
+        self.info = replace(self.info, checksum=payload_checksum(body_bytes))
         header = {
             "magic": _MAGIC,
             **asdict(self.info),
@@ -308,11 +317,11 @@ class DeltaSnapshot:
         with open(path, "wb") as fh:
             fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
             fh.write(b"\n")
-            fh.write(body.getvalue())
+            fh.write(body_bytes)
         return path
 
     @classmethod
-    def load(cls, path) -> "DeltaSnapshot":
+    def load(cls, path, verify_checksum: bool = True) -> "DeltaSnapshot":
         path = Path(path)
         try:
             with open(path, "rb") as fh:
@@ -321,37 +330,80 @@ class DeltaSnapshot:
         except OSError as exc:
             raise SnapshotError(f"cannot read delta snapshot {path}: {exc}") from exc
         header = cls._parse_header(path, header_line)
-        info = DeltaInfo(
-            digest=header["digest"],
-            base_digest=header["base_digest"],
-            sim_time=header["sim_time"],
-            events_processed=header["events_processed"],
-            label=header.get("label", ""),
-            format=header["format"],
-            sections=tuple(
-                (str(name), int(nbytes))
-                for name, nbytes in header.get("sections", [])
-            ),
-        )
+        info = cls._info_from_header(path, header)
+        if verify_checksum and info.checksum:
+            actual = payload_checksum(body)
+            if actual != info.checksum:
+                raise SnapshotError(
+                    f"{path} delta body checksum mismatch — truncated or "
+                    "bit-flipped delta"
+                )
         plan: Dict[str, Tuple] = {}
         offset = 0
-        for name, kind, nbytes, ops_meta in header["plan"]:
-            if kind == "=":
-                plan[name] = ("=",)
-            elif kind == "~":
-                ops: List[Tuple] = []
-                for op in ops_meta:
-                    if op[0] == "c":
-                        ops.append(("c", int(op[1]), int(op[2])))
-                    else:
-                        length = int(op[1])
-                        ops.append(("l", body[offset : offset + length]))
-                        offset += length
-                plan[name] = ("~", ops)
-            else:
-                plan[name] = ("+", body[offset : offset + nbytes])
-                offset += nbytes
+        try:
+            for name, kind, nbytes, ops_meta in header["plan"]:
+                if kind == "=":
+                    plan[name] = ("=",)
+                elif kind == "~":
+                    ops: List[Tuple] = []
+                    for op in ops_meta:
+                        if op[0] == "c":
+                            ops.append(("c", int(op[1]), int(op[2])))
+                        else:
+                            length = int(op[1])
+                            if offset + length > len(body):
+                                raise SnapshotError(
+                                    f"{path} delta body is shorter than its "
+                                    "opcode table claims — truncated delta"
+                                )
+                            ops.append(("l", body[offset : offset + length]))
+                            offset += length
+                    plan[name] = ("~", ops)
+                else:
+                    if offset + int(nbytes) > len(body):
+                        raise SnapshotError(
+                            f"{path} delta body is shorter than its section "
+                            "table claims — truncated delta"
+                        )
+                    plan[name] = ("+", body[offset : offset + int(nbytes)])
+                    offset += int(nbytes)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"{path} has a malformed delta plan: {exc!r}"
+            ) from exc
         return cls(info, plan)
+
+    @staticmethod
+    def _info_from_header(path: Path, header: dict) -> DeltaInfo:
+        try:
+            return DeltaInfo(
+                digest=header["digest"],
+                base_digest=header["base_digest"],
+                sim_time=header["sim_time"],
+                events_processed=header["events_processed"],
+                label=header.get("label", ""),
+                format=header["format"],
+                sections=tuple(
+                    (str(name), int(nbytes))
+                    for name, nbytes in header.get("sections", [])
+                ),
+                checksum=header.get("checksum", ""),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"{path} has a malformed delta header: {exc!r}"
+            ) from exc
+
+    @staticmethod
+    def verify_file(path) -> DeltaInfo:
+        """Integrity-check a delta file: header parse (raising
+        :class:`~repro.errors.SnapshotFormatError` on a foreign
+        format), body checksum, and full plan decode.  Returns the
+        header info; raises :class:`~repro.errors.SnapshotError` on
+        corruption.  Base-chain resolvability is the store's concern
+        (:meth:`repro.runner.warmstart.SnapshotStore.intact`)."""
+        delta = DeltaSnapshot.load(path)
+        return delta.info
 
     @staticmethod
     def read_info(path) -> DeltaInfo:
@@ -363,18 +415,7 @@ class DeltaSnapshot:
         except OSError as exc:
             raise SnapshotError(f"cannot read delta snapshot {path}: {exc}") from exc
         header = DeltaSnapshot._parse_header(path, header_line)
-        return DeltaInfo(
-            digest=header["digest"],
-            base_digest=header["base_digest"],
-            sim_time=header["sim_time"],
-            events_processed=header["events_processed"],
-            label=header.get("label", ""),
-            format=header["format"],
-            sections=tuple(
-                (str(name), int(nbytes))
-                for name, nbytes in header.get("sections", [])
-            ),
-        )
+        return DeltaSnapshot._info_from_header(path, header)
 
     @staticmethod
     def _parse_header(path: Path, header_line: bytes) -> dict:
@@ -386,7 +427,7 @@ class DeltaSnapshot:
             raise SnapshotError(f"{path} is not a delta snapshot file (bad magic)")
         fmt = header.get("format", -1)
         if fmt != DELTA_FORMAT:
-            raise SnapshotError(
+            raise SnapshotFormatError(
                 f"{path} has delta format {fmt}; this build reads "
                 f"format {DELTA_FORMAT}"
             )

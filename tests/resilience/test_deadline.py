@@ -1,0 +1,96 @@
+"""Task deadlines: hung workers are killed, charged, and quarantined."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TaskTimeoutError
+from repro.runner import RetryPolicy, SweepRunner, TaskSpec, read_quarantine
+from repro.runner.pool import SweepObserver
+
+
+def _spec(fn, *args, label=""):
+    return TaskSpec(fn=f"tests.resilience.helpers:{fn}", args=args, label=label)
+
+
+class RecordingObserver(SweepObserver):
+    def __init__(self):
+        self.events = []
+
+    def task_retried(self, index, spec, attempt, delay, error):
+        self.events.append(("retried", index, type(error).__name__))
+
+    def task_quarantined(self, index, spec, record):
+        self.events.append(("quarantined", index, record.kind))
+
+    def task_failed(self, index, spec, error):
+        self.events.append(("failed", index, type(error).__name__))
+
+    def task_finished(self, index, spec, seconds):
+        self.events.append(("finished", index))
+
+
+def test_negative_timeout_is_rejected():
+    with pytest.raises(ConfigurationError):
+        SweepRunner(task_timeout=0.0)
+
+
+def test_stalled_task_is_killed_quarantined_and_bystander_salvaged(tmp_path):
+    sentinel = tmp_path / "stall.sentinel"
+    qdir = tmp_path / "quarantine"
+    observer = RecordingObserver()
+    runner = SweepRunner(
+        jobs=2,
+        task_timeout=1.0,
+        retry_policy=RetryPolicy(max_retries=1, base_delay=0.01),
+        quarantine_dir=qdir,
+        observer=observer,
+    )
+    specs = [
+        _spec("stall_cell", str(sentinel), label="hung"),
+        _spec("run_metrics_cell", "reno", 2.0),
+    ]
+    with pytest.raises(TaskTimeoutError):
+        runner.map(specs)
+    # The offender was executed twice (original + one retry), both killed.
+    assert sentinel.read_text() == "2"
+    assert runner.stats.retried == 1
+    assert runner.stats.quarantined == 1
+    assert runner.stats.salvaged == 1
+    record = runner.stats.records[0]
+    assert record.attempts == 2 and record.quarantined
+    (qrecord,) = read_quarantine(qdir)
+    assert qrecord.kind == "task" and qrecord.label == "hung"
+    assert ("finished", 1) in observer.events  # bystander salvaged
+    assert ("failed", 0, "TaskTimeoutError") in observer.events
+
+
+def test_stall_once_recovers_under_retry(tmp_path):
+    sentinel = tmp_path / "stall-once.sentinel"
+    runner = SweepRunner(
+        jobs=2,
+        task_timeout=1.0,
+        retry_policy=RetryPolicy(max_retries=1, base_delay=0.01),
+    )
+    results = runner.map([_spec("stall_once_cell", str(sentinel))])
+    assert results == ["recovered"]
+    assert runner.stats.retried == 1
+    assert runner.stats.failed == 0
+    assert runner.stats.quarantined == 0
+
+
+def test_jobs_one_with_timeout_still_enforces_deadline(tmp_path):
+    # A deadline needs a process boundary even at jobs=1, so the runner
+    # routes through a one-worker pool instead of running in-process.
+    sentinel = tmp_path / "stall.sentinel"
+    runner = SweepRunner(jobs=1, task_timeout=1.0)
+    with pytest.raises(TaskTimeoutError):
+        runner.map([_spec("stall_cell", str(sentinel))])
+    assert sentinel.read_text() == "1"
+    assert runner.stats.quarantined == 1  # deadline kills always quarantine
+
+
+def test_fast_tasks_unaffected_by_deadline(tmp_path):
+    runner = SweepRunner(jobs=2, task_timeout=30.0)
+    clean = SweepRunner().map([_spec("run_metrics_cell", "rr", 2.0)])
+    deadlined = runner.map([_spec("run_metrics_cell", "rr", 2.0)])
+    assert deadlined == clean
+    assert runner.stats.retried == 0 and runner.stats.failed == 0

@@ -1,0 +1,174 @@
+"""The storage fsck sweep and its CLI entry point."""
+
+import json
+import pickle
+
+from repro.experiments.cli import fsck_cli
+from repro.runner import (
+    PrefixSpec,
+    ResultCache,
+    SnapshotStore,
+    SweepRunner,
+    TaskSpec,
+    fsck,
+    read_quarantine,
+)
+from repro.runner.warmstart import SNAPSHOT_SUBDIR
+
+
+def _spec(variant):
+    return TaskSpec(
+        fn="tests.resilience.helpers:run_metrics_cell", args=(variant, 2.0)
+    )
+
+
+def _prefix_spec(variant="rr"):
+    return PrefixSpec(
+        fn="tests.resilience.helpers:build_stalled_world",
+        args=(variant, 400, 0.5),
+        label=f"stalled prefix {variant}",
+    )
+
+
+def _populate(root):
+    """A small real store: two cache entries + one prefix snapshot."""
+    cache = ResultCache(root=root)
+    SweepRunner(cache=cache).map([_spec("reno"), _spec("rr")])
+    store = SnapshotStore(root / SNAPSHOT_SUBDIR)
+    digest = store.ensure_prefix(_prefix_spec())
+    return cache, store, digest
+
+
+def test_clean_store_reports_clean(tmp_path):
+    _populate(tmp_path / "cache")
+    report = fsck(cache_root=tmp_path / "cache")
+    assert report.clean
+    assert report.scanned >= 4  # 2 cache entries + 1 snap + 1 index entry
+    assert report.ok == report.scanned
+    assert "0 issue(s)" in report.summary()
+
+
+def test_dry_run_reports_but_touches_nothing(tmp_path):
+    cache, store, digest = _populate(tmp_path / "cache")
+    snap_path = store.path_for(digest)
+    snap_path.write_bytes(b"garbage")
+    entry = next((cache.root / cache.fingerprint[:16]).glob("*.pkl"))
+    entry.write_bytes(b"also garbage")
+
+    report = fsck(cache_root=tmp_path / "cache", repair=False)
+    assert not report.clean
+    assert report.repaired == 0
+    assert all(issue.action == "reported" for issue in report.issues)
+    # Nothing moved: the corrupt files are still exactly where they were.
+    assert snap_path.exists() and entry.exists()
+    assert read_quarantine(store.quarantine_dir) == []
+    assert read_quarantine(cache.quarantine_dir) == []
+
+
+def test_repair_quarantines_corruption_and_removes_dangling_index(tmp_path):
+    cache, store, digest = _populate(tmp_path / "cache")
+    store.path_for(digest).write_bytes(b"garbage")
+    entry = next((cache.root / cache.fingerprint[:16]).glob("*.pkl"))
+    data = bytearray(entry.read_bytes())
+    data[-3] ^= 0xFF
+    entry.write_bytes(bytes(data))
+
+    report = fsck(cache_root=tmp_path / "cache")
+    kinds = {(i.kind, i.action) for i in report.issues}
+    assert ("cache-entry", "quarantined") in kinds
+    assert ("snapshot", "quarantined") in kinds
+    # The prefix-index entry pointing at the quarantined snapshot is
+    # dangling now and must be removed so the next sweep recaptures.
+    assert ("prefix-index", "removed") in kinds
+    assert report.repaired == len(report.issues) == 3
+    assert not entry.exists()
+    assert not store.path_for(digest).exists()
+
+    # A second pass over the repaired store is clean.
+    assert fsck(cache_root=tmp_path / "cache").clean
+
+
+def test_foreign_entries_are_counted_but_left(tmp_path):
+    cache, store, _ = _populate(tmp_path / "cache")
+    legacy = cache.root / cache.fingerprint[:16] / ("ab" * 32 + ".pkl")
+    legacy.write_bytes(pickle.dumps({"canonical": "{}", "result": 0}))
+
+    report = fsck(cache_root=tmp_path / "cache")
+    assert report.clean
+    assert report.foreign == 1
+    assert legacy.exists()
+
+
+def test_broken_delta_chain_is_quarantined(tmp_path):
+    from repro.snapshot.core import Snapshot
+    from repro.snapshot.golden import build_golden_scenario
+
+    root = tmp_path / "cache"
+    store = SnapshotStore(root / SNAPSHOT_SUBDIR)
+    world = build_golden_scenario("sack")
+    world.sim.run(until=2.0)
+    base = Snapshot.capture(world, label="base")
+    store.put(base)
+    world.sim.run(until=6.0)
+    tip = Snapshot.capture(world, label="tip")
+    store.put_delta(tip, base_digest=base.digest)
+    store.path_for(base.digest).unlink()  # sever the chain
+
+    report = fsck(cache_root=root)
+    (issue,) = report.issues
+    assert issue.kind == "delta" and "base chain broken" in issue.problem
+    assert issue.action == "quarantined"
+
+
+def test_rebuild_recomputes_prefix_from_meta(tmp_path):
+    root = tmp_path / "cache"
+    _, store, digest = _populate(root)
+    store.path_for(digest).write_bytes(b"garbage")
+
+    report = fsck(cache_root=root, rebuild=True)
+    assert report.rebuilt == 1
+    assert any(i.kind == "prefix" and i.action == "rebuilt" for i in report.issues)
+    # The healed snapshot round-trips: same digest, intact again.
+    assert store.intact(digest)
+
+
+class TestFsckCli:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        _populate(tmp_path / "cache")
+        code = fsck_cli(["--cache-root", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fsck" in out and "0 issue(s)" in out
+
+    def test_repair_exit_zero_dry_run_exit_one(self, tmp_path, capsys):
+        _, store, digest = _populate(tmp_path / "cache")
+        store.path_for(digest).write_bytes(b"garbage")
+        assert fsck_cli(["--cache-root", str(tmp_path / "cache"), "--dry-run"]) == 1
+        # The dry run left the corruption; a repair pass fixes it.
+        assert fsck_cli(["--cache-root", str(tmp_path / "cache")]) == 0
+        assert fsck_cli(["--cache-root", str(tmp_path / "cache")]) == 0
+        capsys.readouterr()
+
+    def test_main_dispatches_fsck(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        _populate(tmp_path / "cache")
+        code = main(["fsck", "--cache-root", str(tmp_path / "cache")])
+        assert code == 0
+        assert "fsck" in capsys.readouterr().out
+
+
+def test_manifest_records_fsck_counters_roundtrip(tmp_path):
+    # Older manifests (no resilience fields) still load: defaults apply.
+    from repro.obs import RunManifest
+
+    manifest = RunManifest.begin("fig5", fingerprint="f" * 64)
+    payload = json.loads(manifest.to_json())
+    for key in ("retried", "quarantined", "cache_store_failures"):
+        payload.pop(key, None)
+    stripped = tmp_path / "manifest.json"
+    stripped.write_text(json.dumps(payload))
+    loaded = RunManifest.load(stripped)
+    assert loaded.retried == 0
+    assert loaded.quarantined == 0
+    assert loaded.cache_store_failures == 0

@@ -1,0 +1,150 @@
+"""RetryPolicy determinism and the retry path of the dispatch loop."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import RetryPolicy, SweepRunner, TaskSpec, read_quarantine
+from repro.runner.pool import SweepObserver
+
+
+def _spec(fn, *args, label=""):
+    return TaskSpec(fn=f"tests.resilience.helpers:{fn}", args=args, label=label)
+
+
+class RecordingObserver(SweepObserver):
+    def __init__(self):
+        self.events = []
+
+    def task_retried(self, index, spec, attempt, delay, error):
+        self.events.append(("retried", index, attempt, delay))
+
+    def task_quarantined(self, index, spec, record):
+        self.events.append(("quarantined", index, record))
+
+    def task_failed(self, index, spec, error):
+        self.events.append(("failed", index))
+
+
+class TestPolicyDeterminism:
+    def test_schedule_is_a_pure_function_of_the_digest(self):
+        policy = RetryPolicy(max_retries=4, base_delay=0.1, jitter=0.5)
+        digest = _spec("run_metrics_cell", "reno").digest()
+        assert policy.schedule(digest) == policy.schedule(digest)
+        assert len(policy.schedule(digest)) == 4
+
+    def test_jitter_bounds_and_exponential_shape(self):
+        policy = RetryPolicy(max_retries=6, base_delay=0.1, max_delay=100.0, jitter=0.3)
+        digest = "ab" * 32
+        for attempt, delay in enumerate(policy.schedule(digest), start=1):
+            raw = 0.1 * 2 ** (attempt - 1)
+            assert raw * 0.7 <= delay <= raw * 1.3
+
+    def test_different_tasks_get_decorrelated_jitter(self):
+        policy = RetryPolicy(max_retries=1, base_delay=1.0, jitter=0.5)
+        delays = {policy.delay(f"{i:064x}", 1) for i in range(16)}
+        assert len(delays) > 8  # thundering-herd decorrelation
+
+    def test_max_delay_caps_the_backoff(self):
+        policy = RetryPolicy(max_retries=8, base_delay=1.0, max_delay=2.5, jitter=0.0)
+        assert policy.schedule("cd" * 32)[-1] == 2.5
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(max_retries=3, base_delay=0.5, jitter=0.0)
+        assert policy.schedule("ef" * 32) == [0.5, 1.0, 2.0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"jitter": 1.0},
+            {"jitter": -0.2},
+        ],
+    )
+    def test_invalid_policy_is_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestSerialRetry:
+    def test_flaky_cell_recovers_bit_identically(self, tmp_path):
+        sentinel = tmp_path / "flaky.sentinel"
+        observer = RecordingObserver()
+        runner = SweepRunner(
+            retry_policy=RetryPolicy(max_retries=2, base_delay=0.01),
+            observer=observer,
+        )
+        flaky = runner.map(
+            [_spec("flaky_metrics_cell", "reno", str(sentinel), 2.0)]
+        )
+        clean = SweepRunner().map([_spec("run_metrics_cell", "reno", 2.0)])
+        assert flaky == clean
+        assert runner.stats.retried == 1
+        assert runner.stats.failed == 0
+        record = runner.stats.records[0]
+        assert record.attempts == 2 and not record.quarantined
+        assert [e[0] for e in observer.events] == ["retried"]
+
+    def test_budget_exhaustion_fails_and_quarantines(self, tmp_path):
+        qdir = tmp_path / "quarantine"
+        runner = SweepRunner(
+            retry_policy=RetryPolicy(max_retries=2, base_delay=0.001),
+            quarantine_dir=qdir,
+        )
+        with pytest.raises(RuntimeError, match="injected failure"):
+            runner.map([_spec("always_fails", label="poison")])
+        assert runner.stats.retried == 2
+        assert runner.stats.quarantined == 1
+        record = runner.stats.records[0]
+        assert record.attempts == 3 and record.quarantined
+        (qrecord,) = read_quarantine(qdir)
+        assert qrecord.kind == "task"
+        assert qrecord.attempts == 3
+        assert len(qrecord.errors) == 3
+        assert qrecord.label == "poison"
+
+    def test_no_policy_means_fail_fast_without_quarantine(self):
+        runner = SweepRunner()
+        with pytest.raises(RuntimeError):
+            runner.map([_spec("always_fails")])
+        assert runner.stats.retried == 0
+        assert runner.stats.quarantined == 0
+        assert not runner.stats.records[0].quarantined
+
+
+class TestParallelRetry:
+    def test_parallel_retry_matches_serial_bit_for_bit(self, tmp_path):
+        sentinel = tmp_path / "flaky.sentinel"
+        specs = [
+            _spec("flaky_metrics_cell", "newreno", str(sentinel), 2.0),
+            _spec("run_metrics_cell", "sack", 2.0),
+            _spec("run_metrics_cell", "tahoe", 2.0),
+        ]
+        runner = SweepRunner(
+            jobs=2, retry_policy=RetryPolicy(max_retries=2, base_delay=0.01)
+        )
+        parallel = runner.map(specs)
+        serial = SweepRunner().map(
+            [
+                _spec("run_metrics_cell", "newreno", 2.0),
+                _spec("run_metrics_cell", "sack", 2.0),
+                _spec("run_metrics_cell", "tahoe", 2.0),
+            ]
+        )
+        assert parallel == serial
+        assert runner.stats.retried >= 1
+        assert runner.stats.failed == 0
+
+    def test_retried_result_is_cached_like_any_other(self, tmp_path):
+        sentinel = tmp_path / "flaky.sentinel"
+        from repro.runner import ResultCache
+
+        cache = ResultCache(root=tmp_path / "cache")
+        spec = _spec("flaky_metrics_cell", "rr", str(sentinel), 2.0)
+        first = SweepRunner(
+            cache=cache, retry_policy=RetryPolicy(max_retries=1, base_delay=0.01)
+        ).map([spec])
+        replay_runner = SweepRunner(cache=cache)
+        replay = replay_runner.map([spec])
+        assert replay == first
+        assert replay_runner.stats.cache_hits == 1

@@ -1,0 +1,125 @@
+"""Worker-crash chaos: SIGKILLed workers, pool respawn, bit-identity.
+
+The acceptance scenario of the resilience layer: a worker dies by
+SIGKILL mid-task, the pool is respawned, the task retried, and the
+sweep's results are bit-identical to an undisturbed serial run.
+"""
+
+import io
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.obs import RunManifest, RunTelemetry, read_events
+from repro.runner import RetryPolicy, SweepRunner, TaskSpec, read_quarantine
+
+
+def _spec(fn, *args, label=""):
+    return TaskSpec(fn=f"tests.resilience.helpers:{fn}", args=args, label=label)
+
+
+def _clean_specs():
+    return [
+        _spec("run_metrics_cell", "reno", 2.0),
+        _spec("run_metrics_cell", "rr", 2.0),
+        _spec("run_metrics_cell", "sack", 2.0),
+    ]
+
+
+def _telemetry(tmp_path):
+    return RunTelemetry("chaos", root=tmp_path / "runs", stream=io.StringIO())
+
+
+def test_sigkilled_cell_retries_bit_identical_to_serial(tmp_path):
+    sentinel = tmp_path / "sigkill.sentinel"
+    chaos_specs = [
+        _spec("sigkill_metrics_cell", "reno", str(sentinel), 2.0),
+        _spec("run_metrics_cell", "rr", 2.0),
+        _spec("run_metrics_cell", "sack", 2.0),
+    ]
+    runner = SweepRunner(
+        jobs=2, retry_policy=RetryPolicy(max_retries=2, base_delay=0.01)
+    )
+    chaos = runner.map(chaos_specs)
+    serial = SweepRunner().map(_clean_specs())
+    assert chaos == serial
+    assert sentinel.exists()
+    assert runner.stats.failed == 0
+    # A spontaneous pool break charges every in-flight task (the dying
+    # cell plus possibly a bystander), so >= 1 rather than == 1.
+    assert runner.stats.retried >= 1
+
+
+def test_crash_without_retry_budget_quarantines(tmp_path):
+    # Needs >= 2 tasks: a lone task runs in-process (workers = min(jobs,
+    # tasks)) where a self-SIGKILL would take down the caller.
+    sentinel = tmp_path / "sigkill.sentinel"
+    qdir = tmp_path / "quarantine"
+    runner = SweepRunner(jobs=2, quarantine_dir=qdir)
+    with pytest.raises(WorkerCrashError):
+        runner.map(
+            [
+                _spec("sigkill_metrics_cell", "tahoe", str(sentinel), 2.0),
+                _spec("run_metrics_cell", "rr", 2.0),
+            ]
+        )
+    # The dying cell is charged; an in-flight bystander may be too (a
+    # spontaneous pool break cannot tell offender from victim).
+    records = read_quarantine(qdir)
+    assert records and all(r.kind == "task" for r in records)
+    assert runner.stats.quarantined == len(records)
+
+
+def test_telemetry_surfaces_retries_in_manifest_and_heartbeat(tmp_path):
+    sentinel = tmp_path / "sigkill.sentinel"
+    chaos_specs = [
+        _spec("sigkill_metrics_cell", "newreno", str(sentinel), 2.0),
+        _spec("run_metrics_cell", "rr", 2.0),
+    ]
+    runner = SweepRunner(
+        jobs=2, retry_policy=RetryPolicy(max_retries=2, base_delay=0.01)
+    )
+    telemetry = _telemetry(tmp_path)
+    telemetry.attach(runner)
+    runner.map(chaos_specs)
+    telemetry.detach(runner)
+    manifest = RunManifest.load(telemetry.finish())
+    assert manifest.retried >= 1
+    assert manifest.quarantined == 0
+    assert manifest.failed == 0
+    events = read_events(telemetry.run_dir / "events.jsonl")
+    kinds = {event["event"] for event in events}
+    assert "task_retried" in kinds
+    finished = next(e for e in events if e["event"] == "sweep_finished")
+    assert finished["retried"] >= 1
+
+
+def test_telemetry_quarantine_lands_in_run_dir(tmp_path):
+    # RunTelemetry wires the runner's quarantine_dir into the run
+    # artifact directory and marks the failed manifest entry.
+    sentinel = tmp_path / "stall.sentinel"
+    runner = SweepRunner(jobs=2, task_timeout=1.0)
+    telemetry = _telemetry(tmp_path)
+    telemetry.attach(runner)
+    assert runner.quarantine_dir == telemetry.quarantine_dir
+    try:
+        with pytest.raises(Exception) as excinfo:
+            runner.map(
+                [
+                    _spec("stall_cell", str(sentinel), label="hung"),
+                    _spec("run_metrics_cell", "rr", 2.0),
+                ]
+            )
+        path = telemetry.abort(excinfo.value)
+    finally:
+        telemetry.detach(runner)
+    assert runner.quarantine_dir is None  # detach resets the wiring
+    (qrecord,) = read_quarantine(telemetry.quarantine_dir)
+    assert qrecord.kind == "task" and qrecord.label == "hung"
+    manifest = RunManifest.load(path)
+    assert manifest.quarantined == 1
+    (failed_entry,) = [t for t in manifest.tasks if t["error"]]
+    assert failed_entry["quarantined"] is True
+    events = read_events(telemetry.run_dir / "events.jsonl")
+    kinds = {event["event"] for event in events}
+    assert "task_quarantined" in kinds

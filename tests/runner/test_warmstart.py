@@ -195,7 +195,13 @@ class TestPutDelta:
         store.put_delta(snapshots[2], base_digest=snapshots[1].digest)
         assert store.get(snapshots[2].digest).payload == snapshots[2].payload
 
-    def test_missing_base_raises(self, tmp_path):
+    def test_missing_base_falls_back_to_full(self, tmp_path):
+        # Resilience contract: a fork whose base vanished (or was
+        # quarantined mid-flight) is stored in full, not refused.
         store = SnapshotStore(tmp_path)
-        with pytest.raises(SnapshotError, match="no snapshot"):
-            store.put_delta(_snapshot(), base_digest="f" * 64)
+        snapshot = _snapshot()
+        digest = store.put_delta(snapshot, base_digest="f" * 64)
+        assert digest == snapshot.digest
+        assert store.path_for(digest).exists()
+        assert not store.delta_path_for(digest).exists()
+        assert store.get(digest).payload == snapshot.payload
