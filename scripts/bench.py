@@ -11,9 +11,14 @@ through :mod:`repro.runner`, and writes two JSON baselines:
   five warm-startable sweeps, and delta-vs-full snapshot sizes.
 
 Committed baselines live at the repo root; ``--check`` compares a fresh
-run against them and exits non-zero on a >30% events/sec regression
-(tunable via ``--max-regression``).  ``--quick`` trims repeats and the
-macro campaign for CI smoke runs — the micro workloads themselves are
+run against them per workload, with per-bench regression thresholds
+(:data:`CHECK_THRESHOLDS`, fallback ``--max-regression``) and
+best-of-N timing so the gate rides real slowdowns, not CI noise.  The
+gate only fires when the fresh run and the committed baseline used the
+same engine backend (``core_backend`` in the JSON): comparing a
+pure-python run against a compiled-core baseline measures the build
+matrix, not a regression.  ``--quick`` trims repeats and the macro
+campaign for CI smoke runs — the micro workloads themselves are
 unchanged, so events/sec stays comparable to a full run.
 
 Usage::
@@ -55,11 +60,29 @@ from repro.runner import (  # noqa: E402
     SweepRunner,
     default_jobs,
 )
+from repro.sim.engine import CORE_BACKEND  # noqa: E402
 from repro.snapshot import Snapshot  # noqa: E402
 from repro.snapshot.delta import DeltaSnapshot, should_fall_back  # noqa: E402
 
 ENGINE_BASELINE = "BENCH_engine.json"
 EXPERIMENTS_BASELINE = "BENCH_experiments.json"
+
+#: Per-workload tolerated fractional events/sec drop for ``--check``.
+#: The micro workloads are near-pure engine and time stably, so they
+#: get a tight gate; ten_flow_red_second runs mostly Python callback
+#: code (RED, TCP, per-drop observers) and needs headroom for CI-runner
+#: variance.  Workloads not listed fall back to ``--max-regression``.
+CHECK_THRESHOLDS = {
+    "event_scheduling": 0.25,
+    "timer_churn": 0.25,
+    "end_to_end_transfer": 0.30,
+    "ten_flow_red_second": 0.35,
+}
+
+#: Minimum timing repeats whenever ``--check`` gates the run: best-of-1
+#: is a coin flip on a noisy runner, best-of-3 tracks the machine's
+#: true ceiling.
+CHECK_MIN_REPEATS = 3
 
 
 def time_workload(fn, kwargs, repeats: int) -> dict:
@@ -220,8 +243,14 @@ def bench_warmstart(quick: bool) -> dict:
             with tempfile.TemporaryDirectory(prefix="repro-bench-snap-") as tmp:
                 store = SnapshotStore(tmp)
                 cold, cold_seconds = _timed(run_fn, config)
-                warm, warm_seconds = _timed(run_fn, config, store, warm_start=True)
-                replay, replay_seconds = _timed(run_fn, config, store, warm_start=True)
+                # "force" bypasses the warm-start cost model: this bench
+                # *measures* the warm machinery — including on grids the
+                # model would (correctly) refuse — and its numbers are
+                # what the model's constants are calibrated against.
+                warm, warm_seconds = _timed(run_fn, config, store, warm_start="force")
+                replay, replay_seconds = _timed(
+                    run_fn, config, store, warm_start="force"
+                )
             if rows_of(warm) != rows_of(cold) or rows_of(replay) != rows_of(cold):
                 raise AssertionError(f"{name}: warm-start results diverged from cold")
             grids[name] = _warmstart_report(
@@ -303,11 +332,20 @@ def bench_delta() -> dict:
 
 
 def check_regression(fresh: dict, baseline_path: Path, max_regression: float) -> int:
-    """Compare fresh events/sec against the committed baseline."""
+    """Compare fresh events/sec against the committed baseline, one
+    threshold per workload (:data:`CHECK_THRESHOLDS`)."""
     if not baseline_path.exists():
         print(f"no committed baseline at {baseline_path}; skipping check")
         return 0
     baseline = json.loads(baseline_path.read_text())
+    base_backend = baseline.get("core_backend", "python")
+    if base_backend != CORE_BACKEND:
+        print(
+            f"baseline was recorded under the {base_backend!r} engine backend "
+            f"but this run used {CORE_BACKEND!r}; skipping the gate (informational "
+            "numbers above still stand)"
+        )
+        return 0
     failures = 0
     for name, fresh_bench in fresh.items():
         base_bench = baseline.get("benches", {}).get(name)
@@ -317,17 +355,18 @@ def check_regression(fresh: dict, baseline_path: Path, max_regression: float) ->
         fresh_rate = fresh_bench["events_per_sec"]
         if not base_rate:
             continue
+        threshold = CHECK_THRESHOLDS.get(name, max_regression)
         delta = fresh_rate / base_rate - 1.0
         verdict = "ok"
-        if delta < -max_regression:
+        if delta < -threshold:
             verdict = "REGRESSION"
             failures += 1
         print(
             f"  {name:<24} baseline {base_rate:>12,.0f}  fresh {fresh_rate:>12,.0f}"
-            f"  ({delta:+.1%})  {verdict}"
+            f"  ({delta:+.1%} vs -{threshold:.0%} allowed)  {verdict}"
         )
     if failures:
-        print(f"{failures} workload(s) regressed more than {max_regression:.0%}")
+        print(f"{failures} workload(s) regressed past their threshold")
     return 1 if failures else 0
 
 
@@ -346,6 +385,11 @@ def main(argv=None) -> int:
         help="tolerated fractional events/sec drop for --check (default 0.30)",
     )
     parser.add_argument(
+        "--micro-only",
+        action="store_true",
+        help="run only the engine micro-benchmarks (skip macro/warm-start/delta)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -359,15 +403,18 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     repeats = 3 if args.quick else 7
+    if args.check:
+        repeats = max(repeats, CHECK_MIN_REPEATS)
     jobs = args.jobs or min(4, default_jobs())
     out_dir = Path(args.out) if args.out else REPO_ROOT
     out_dir.mkdir(parents=True, exist_ok=True)
 
     meta = {
-        "schema": 2,
+        "schema": 3,
         "quick": args.quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "core_backend": CORE_BACKEND,
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
 
@@ -377,20 +424,23 @@ def main(argv=None) -> int:
         json.dumps({**meta, "benches": benches}, indent=2) + "\n"
     )
 
-    print("experiment macro campaign:")
-    campaign = bench_experiments(args.quick, jobs)
-    print("warm-start (snapshot fork) campaigns:")
-    warmstart = bench_warmstart(args.quick)
-    print("delta snapshot sizes:")
-    delta = bench_delta()
-    (out_dir / EXPERIMENTS_BASELINE).write_text(
-        json.dumps(
-            {**meta, "campaign": campaign, "warmstart": warmstart, "delta": delta},
-            indent=2,
+    if args.micro_only:
+        print(f"wrote {out_dir / ENGINE_BASELINE} (micro-only run)")
+    else:
+        print("experiment macro campaign:")
+        campaign = bench_experiments(args.quick, jobs)
+        print("warm-start (snapshot fork) campaigns:")
+        warmstart = bench_warmstart(args.quick)
+        print("delta snapshot sizes:")
+        delta = bench_delta()
+        (out_dir / EXPERIMENTS_BASELINE).write_text(
+            json.dumps(
+                {**meta, "campaign": campaign, "warmstart": warmstart, "delta": delta},
+                indent=2,
+            )
+            + "\n"
         )
-        + "\n"
-    )
-    print(f"wrote {out_dir / ENGINE_BASELINE} and {out_dir / EXPERIMENTS_BASELINE}")
+        print(f"wrote {out_dir / ENGINE_BASELINE} and {out_dir / EXPERIMENTS_BASELINE}")
 
     if args.check:
         print("regression check:")

@@ -1,12 +1,53 @@
 """Setup shim.
 
-Metadata lives in pyproject.toml; this file exists so the package can
-be installed in environments whose pip/setuptools lack PEP 660 support
-(e.g. offline boxes without the ``wheel`` package):
+Metadata lives in pyproject.toml; this file adds the *optional*
+compiled engine core (``repro.sim._engine_core``).  The extension is
+a pure accelerator — ``repro.sim.engine`` falls back to its pure-python
+dispatch loop whenever the module is missing — so a failed build must
+never fail the install.  Build it explicitly with:
 
-    python setup.py develop
+    python setup.py build_ext --inplace
+
+Set ``REPRO_REQUIRE_COMPILED=1`` to turn a build failure into a hard
+error (the compiled-core CI leg does, so a silently broken toolchain
+cannot masquerade as a passing run).
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """Build the accelerator if we can; fall back quietly if we cannot."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # noqa: BLE001 - any toolchain failure
+            self._tolerate(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # noqa: BLE001
+            self._tolerate(exc)
+
+    @staticmethod
+    def _tolerate(exc):
+        if os.environ.get("REPRO_REQUIRE_COMPILED", "").strip() not in ("", "0"):
+            raise
+        print(f"warning: skipping optional compiled core: {exc}")
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._engine_core",
+            sources=["src/repro/sim/_engine_core.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -42,6 +42,7 @@ from repro.runner import (
     fetch_prefix,
     step_until,
     warm_specs,
+    warm_start_decision,
 )
 from repro.sim.rng import RngStream
 from repro.viz.ascii import format_table
@@ -83,6 +84,12 @@ WARM_MARGIN_PACKETS = 20
 
 #: Step size (seconds) of the warm-up capture loop.
 WARM_STEP_SECONDS = 0.02
+
+#: Warm-start cost-model hint: the prefix is a fast slow-start ramp to
+#: ~first_drop_seq of a transfer_packets transfer, and high-ACK-loss
+#: cells run far past it — a few percent of a cell's work at most
+#: (BENCH_experiments.json measured warm ~parity with cold here).
+WARM_PREFIX_FRACTION = 0.03
 
 
 def prefix_world(variant: str, config: AckLossConfig):
@@ -207,12 +214,22 @@ def run_ackloss(
         for variant in config.variants
         for rate in config.ack_loss_rates
     ]
+    prefix_for = lambda cell: prefix_spec(cell[0], config)  # noqa: E731
     if warm_start:
         store = store or SnapshotStore()
+        if warm_start != "force":
+            decision = warm_start_decision(
+                cells, prefix_for, WARM_PREFIX_FRACTION, store
+            )
+            if not decision.use_warm:
+                if manifest is not None:
+                    manifest.note_warm_start_skipped(decision.reason)
+                warm_start = False
+    if warm_start:
         store_arg = str(store.root)
         specs = warm_specs(
             cells,
-            prefix_for=lambda cell: prefix_spec(cell[0], config),
+            prefix_for=prefix_for,
             spec_for=lambda cell, digest: TaskSpec(
                 fn="repro.experiments.ackloss:run_point_from_snapshot",
                 args=(digest, cell[0], cell[1], config, store_arg),

@@ -52,6 +52,7 @@ from repro.runner import (
     load_prefix,
     step_until,
     warm_specs,
+    warm_start_decision,
 )
 from repro.snapshot import Snapshot
 from repro.viz.ascii import format_table
@@ -163,6 +164,13 @@ WARM_MARGIN_PACKETS = 20
 #: Step size (seconds) of the warm-up capture loop.
 WARM_STEP_SECONDS = 0.02
 
+#: Fraction of one cold cell's runtime spent in the shared pre-loss
+#: prefix — the warm-start cost model's hint.  The slow-start ramp to
+#: ``first_drop_seq`` dominates a cell whose transfer finishes shortly
+#: after recovery (BENCH_experiments.json measures a ~2.4x warm replay
+#: on the late-loss grid, i.e. the prefix is over half the work).
+WARM_PREFIX_FRACTION = 0.5
+
 
 def prefix_world(variant: str, config: Figure5Config):
     """Build and advance the shared pre-loss prefix of a Figure-5 cell.
@@ -246,9 +254,13 @@ def run_figure5(
     With ``warm_start`` the pre-loss prefix is simulated once per
     variant, captured, and every drop-count cell forks the frozen world
     instead of re-running slow start from t=0 (bit-identical rows, see
-    tests/snapshot/test_fork.py).  A :class:`~repro.obs.RunManifest`
-    passed as ``manifest`` is annotated with the harness identity,
-    canonical config and warm-start reuse counters (docs/OBSERVABILITY.md).
+    tests/snapshot/test_fork.py).  ``warm_start=True`` first consults
+    :func:`~repro.runner.warmstart.warm_start_decision` and falls back
+    to the cold path when no win is predicted (recorded in the manifest
+    as ``warm_start_skipped``); ``warm_start="force"`` skips the cost
+    model.  A :class:`~repro.obs.RunManifest` passed as ``manifest`` is
+    annotated with the harness identity, canonical config and
+    warm-start reuse counters (docs/OBSERVABILITY.md).
     """
     config = config or Figure5Config()
     runner = runner or SweepRunner()
@@ -260,12 +272,22 @@ def run_figure5(
         for n_drops in config.drop_counts
         for variant in config.variants
     ]
+    prefix_for = lambda cell: prefix_spec(cell[0], config)  # noqa: E731
     if warm_start:
         store = store or SnapshotStore()
+        if warm_start != "force":
+            decision = warm_start_decision(
+                cells, prefix_for, WARM_PREFIX_FRACTION, store
+            )
+            if not decision.use_warm:
+                if manifest is not None:
+                    manifest.note_warm_start_skipped(decision.reason)
+                warm_start = False
+    if warm_start:
         store_arg = str(store.root)
         specs = warm_specs(
             cells,
-            prefix_for=lambda cell: prefix_spec(cell[0], config),
+            prefix_for=prefix_for,
             spec_for=lambda cell, digest: TaskSpec(
                 fn="repro.experiments.figure5:run_single_from_snapshot",
                 args=(digest, cell[0], cell[1], config, store_arg),

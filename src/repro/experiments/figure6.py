@@ -35,6 +35,7 @@ from repro.runner import (
     TaskSpec,
     load_prefix,
     warm_specs,
+    warm_start_decision,
 )
 from repro.sim.rng import RngStream
 from repro.viz.ascii import ascii_scatter, format_table
@@ -171,6 +172,11 @@ def run_figure6(
     With ``warm_start`` each variant's first ``prefix_seconds`` are
     simulated once per code version (then replayed from the store) and
     the cells continue from the frozen worlds — bit-identical rows.
+    ``warm_start=True`` consults the warm-start cost model first (one
+    cell per variant means a first pass can never win — the capture IS
+    the prefix run plus a snapshot round-trip); ``warm_start="force"``
+    bypasses it, which is how the investment pass that later replays
+    amortize gets made.
     """
     config = config or Figure6Config()
     runner = runner or SweepRunner()
@@ -179,12 +185,25 @@ def run_figure6(
         manifest.describe_harness(
             "fig6", config=config, seed=config.seed, warm_start=warm_start
         )
+    prefix_for = lambda variant: prefix_spec(variant, config)  # noqa: E731
     if warm_start:
         store = store or SnapshotStore()
+        if warm_start != "force":
+            # Hint: the prefix is exactly the first prefix_seconds of a
+            # duration-second run.
+            fraction = min(config.prefix_seconds, config.duration) / config.duration
+            decision = warm_start_decision(
+                list(config.variants), prefix_for, fraction, store
+            )
+            if not decision.use_warm:
+                if manifest is not None:
+                    manifest.note_warm_start_skipped(decision.reason)
+                warm_start = False
+    if warm_start:
         store_arg = str(store.root)
         specs = warm_specs(
             list(config.variants),
-            prefix_for=lambda variant: prefix_spec(variant, config),
+            prefix_for=prefix_for,
             spec_for=lambda variant, digest: TaskSpec(
                 fn="repro.experiments.figure6:run_variant_from_snapshot",
                 args=(digest, variant, config, store_arg),

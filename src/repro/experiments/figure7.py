@@ -38,6 +38,7 @@ from repro.runner import (
     TaskSpec,
     fetch_prefix,
     warm_specs,
+    warm_start_decision,
 )
 from repro.sim.rng import RngStream
 from repro.viz.ascii import ascii_scatter, format_table
@@ -83,6 +84,14 @@ class Figure7Result:
             for point in self.points
             if point.variant == variant
         ]
+
+
+#: Warm-start cost-model hint: fraction of one cold cell's *work* spent
+#: in the loss-free prefix.  Far larger than loss_start/duration (5%):
+#: the prefix runs at full window while the lossy remainder runs with a
+#: collapsed one, so in event terms the prefix is nearly half the cell
+#: (BENCH_experiments.json: ~1.9x warm replay).
+WARM_PREFIX_FRACTION = 0.45
 
 
 def prefix_world(variant: str, config: Figure7Config):
@@ -206,12 +215,22 @@ def run_figure7(
         for variant in config.variants
         for loss_rate in config.loss_rates
     ]
+    prefix_for = lambda cell: prefix_spec(cell[0], config)  # noqa: E731
     if warm_start:
         store = store or SnapshotStore()
+        if warm_start != "force":
+            decision = warm_start_decision(
+                cells, prefix_for, WARM_PREFIX_FRACTION, store
+            )
+            if not decision.use_warm:
+                if manifest is not None:
+                    manifest.note_warm_start_skipped(decision.reason)
+                warm_start = False
+    if warm_start:
         store_arg = str(store.root)
         specs = warm_specs(
             cells,
-            prefix_for=lambda cell: prefix_spec(cell[0], config),
+            prefix_for=prefix_for,
             spec_for=lambda cell, digest: TaskSpec(
                 fn="repro.experiments.figure7:run_point_from_snapshot",
                 args=(digest, cell[0], cell[1], config, store_arg),

@@ -35,6 +35,7 @@ from repro.runner import (
     TaskSpec,
     load_prefix,
     warm_specs,
+    warm_start_decision,
 )
 from repro.sim.rng import RngStream
 from repro.tcp.factory import make_connection
@@ -271,17 +272,34 @@ def run_table5(
         manifest.describe_harness(
             "table5", config=config, seed=config.seed, warm_start=warm_start
         )
+    cells = [
+        (target_variant, background_variant, run_index)
+        for target_variant, background_variant in config.cases
+        for run_index in range(config.runs_per_case)
+    ]
+    prefix_for = lambda cell: prefix_spec(cell[1], cell[2], config)  # noqa: E731
     if warm_start:
         store = store or SnapshotStore()
+        if warm_start != "force":
+            # Hint: the prefix is the background build-up to just
+            # before target_start of a sim_duration-second run — a few
+            # percent by default, which is why warm table5 measured at
+            # parity with cold (BENCH_experiments.json) before this
+            # cost model existed.
+            fraction = (
+                max(config.target_start - config.attach_margin, 0.0)
+                / config.sim_duration
+            )
+            decision = warm_start_decision(cells, prefix_for, fraction, store)
+            if not decision.use_warm:
+                if manifest is not None:
+                    manifest.note_warm_start_skipped(decision.reason)
+                warm_start = False
+    if warm_start:
         store_arg = str(store.root)
-        cells = [
-            (target_variant, background_variant, run_index)
-            for target_variant, background_variant in config.cases
-            for run_index in range(config.runs_per_case)
-        ]
         specs = warm_specs(
             cells,
-            prefix_for=lambda cell: prefix_spec(cell[1], cell[2], config),
+            prefix_for=prefix_for,
             spec_for=lambda cell, digest: TaskSpec(
                 fn="repro.experiments.table5:run_replica_from_snapshot",
                 args=(digest, cell[0], cell[1], config, cell[2], store_arg),

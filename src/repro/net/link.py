@@ -17,10 +17,10 @@ from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.net.loss import LossModule, NoLoss
-from repro.net.packet import Packet
+from repro.net.packet import Packet, maybe_release
 from repro.net.queues import PacketQueue
 from repro.sim.engine import Simulator
-from repro.sim.tracing import TraceBus
+from repro.sim.tracing import NULL_CHANNEL, TraceBus
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
@@ -67,7 +67,7 @@ class Link:
         self.delay = delay
         self.queue = queue
         self.trace = trace
-        self.loss = loss or NoLoss()
+        self.loss = loss or NoLoss()  # property: also derives _loss_active
         self._dst: Optional["Node"] = None
         # Optional reordering injector (see repro.net.reorder): adds
         # per-packet extra propagation delay so later packets overtake.
@@ -77,6 +77,11 @@ class Link:
         self.tamper = None
         self._busy = False
         self._down = False
+        # Opt-in batched egress (see enable_batched_egress).  False on
+        # every default link; the batching attributes are stripped from
+        # checkpoints while disabled so default-link digests are
+        # byte-identical to a batching-unaware build.
+        self._batch = False
         self.packets_delivered = 0
         self.bytes_delivered = 0
         self.outage_drops = 0
@@ -85,6 +90,54 @@ class Link:
         if setter is not None:
             setter(8.0 * 1000 / bandwidth_bps)
         queue.on_drop = self._queue_dropped
+        # Derived tracing state (never pickled; see __getstate__).
+        self._bind_trace_channels()
+
+    # ------------------------------------------------------------------
+    # tracing fast path / checkpointing
+    # ------------------------------------------------------------------
+    def _bind_trace_channels(self):
+        """(Re)derive the cached ``link.tx`` channel — the only
+        per-packet emit on a link's hot path."""
+        trace = self.trace
+        self._ch_tx = NULL_CHANNEL if trace is None else trace.channel("link.tx")
+        return self._ch_tx
+
+    @property
+    def loss(self) -> LossModule:
+        return self._loss
+
+    @loss.setter
+    def loss(self, module: LossModule) -> None:
+        # Cache "is this a real loss module?" so the per-packet path
+        # skips the NoLoss.should_drop call entirely.
+        self._loss = module
+        self._loss_active = type(module) is not NoLoss
+
+    def __getstate__(self):
+        """The live ``__dict__`` minus derived caches (trace channel,
+        loss-activity flag), with the loss module under its public
+        ``loss`` key — keeping checkpoints and golden digests identical
+        to a cache-free link."""
+        state = self.__dict__.copy()
+        state.pop("_ch_tx", None)
+        del state["_loss"], state["_loss_active"]
+        state["loss"] = self._loss
+        if not self._batch:
+            # Default links pickle exactly as a batching-unaware link
+            # would; batching links keep their mode and service horizon.
+            del state["_batch"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        state = dict(state)
+        loss = state.pop("loss")
+        state.setdefault("_batch", False)
+        self.__dict__.update(state)
+        self.loss = loss
+        # Rebound lazily on first emit: the trace bus may itself still
+        # be mid-unpickle here.
+        self._ch_tx = None
 
     def connect(self, dst: "Node") -> None:
         """Attach the receiving node."""
@@ -97,6 +150,8 @@ class Link:
     @property
     def busy(self) -> bool:
         """True while a packet occupies the transmitter."""
+        if self._batch:
+            return self._sim.now < self._busy_until
         return self._busy
 
     def transmission_time(self, packet: Packet) -> float:
@@ -149,15 +204,110 @@ class Link:
             if verdict == "duplicate":
                 self._emit("link.duplicate", packet=packet)
                 self._admit(self.tamper.clone(packet))
-        self._admit(packet)
-
-    def _admit(self, packet: Packet) -> None:
-        """Run loss injection and queueing for one packet copy."""
-        if self.loss.should_drop(packet):
+        # Common path: _admit inlined (one Python frame per packet).
+        if self._loss_active and self._loss.should_drop(packet):
             self._emit("link.injected_drop", packet=packet)
+            return
+        if self._batch:
+            if self.queue.enqueue(packet):
+                self._batched_kick()
             return
         if self.queue.enqueue(packet) and not self._busy:
             self._start_transmission()
+
+    def _admit(self, packet: Packet) -> None:
+        """Run loss injection and queueing for one packet copy."""
+        if self._loss_active and self._loss.should_drop(packet):
+            self._emit("link.injected_drop", packet=packet)
+            return
+        if self._batch:
+            if self.queue.enqueue(packet):
+                self._batched_kick()
+            return
+        if self.queue.enqueue(packet) and not self._busy:
+            self._start_transmission()
+
+    # ------------------------------------------------------------------
+    # batched egress (opt-in)
+    # ------------------------------------------------------------------
+    def enable_batched_egress(self) -> None:
+        """Opt into batched egress scheduling.
+
+        The default transmitter costs two engine events per packet: a
+        transmission-done event at service end plus a delivery event at
+        the far end.  In batched mode an *uncontended* packet (admitted
+        to an idle transmitter) skips the transmission-done event
+        entirely — its delivery is scheduled directly at
+        ``tx_time + delay`` and the transmitter just remembers it is
+        occupied until ``now + tx_time``.  Packets that arrive during a
+        busy period queue as usual and are drained by a single service
+        event at the exact instant the transmitter frees up, so queue
+        occupancy, drop decisions and every delivery timestamp are
+        identical to the default mode; only the engine event stream is
+        smaller (equivalence is pinned by tests/net/test_link_batched).
+
+        Because serials and the pending heap differ, batched worlds are
+        **not** digest-compatible with default worlds — hence opt-in,
+        per link.  Two caveats:
+
+        * ``link.tx`` records are emitted at service *start* carrying
+          the same packet (completion is start + ``transmission_time``);
+          the default mode emits at completion.
+        * A link with a reorderer attached must stay unbatched (the
+          per-packet jitter draw happens in a different event context);
+          enabling raises :class:`ConfigurationError`.
+        """
+        if self.reorder is not None:
+            raise ConfigurationError(
+                f"link {self.name}: batched egress is incompatible with a reorderer"
+            )
+        if not self._batch:
+            self._batch = True
+            self._busy_until = self._sim.now
+            self._drain_pending = False
+
+    def _batched_kick(self) -> None:
+        """An enqueue happened: serve it now if the transmitter is
+        idle, else make sure one drain event covers the busy period."""
+        if self._drain_pending:
+            # A drain is already booked for ``_busy_until``; it owns the
+            # next service start.  Serving here too would double-book
+            # the slot when this send fires at exactly ``_busy_until``
+            # (now >= _busy_until looks idle, but the drain has not run
+            # yet) — the tie every tx-aligned workload hits.
+            return
+        now = self._sim.now
+        if now >= self._busy_until:
+            self._batched_serve(now)
+        else:
+            self._drain_pending = True
+            self._sim.schedule_abs(self._busy_until, self._batched_drain)
+
+    def _batched_serve(self, now: float) -> None:
+        """Begin service of the head-of-line packet at ``now``."""
+        packet = self.queue.dequeue()
+        if packet is None:
+            return
+        ch = self._ch_tx
+        if ch is None:
+            ch = self._bind_trace_channels()
+        if ch.subs:
+            ch.emit(now, self.name, packet=packet)
+        tx = packet.size * 8.0 / self.bandwidth_bps
+        # Two-step sum: the default mode computes (now + tx) + delay, so
+        # batched delivery timestamps must associate the same way.
+        busy = now + tx
+        self._busy_until = busy
+        self._sim.schedule_abs(busy + self.delay, self._deliver, packet)
+
+    def _batched_drain(self) -> None:
+        """Service-start tick: the transmitter just freed up."""
+        self._drain_pending = False
+        now = self._sim.now
+        self._batched_serve(now)
+        if not self.queue.is_empty:
+            self._drain_pending = True
+            self._sim.schedule_abs(self._busy_until, self._batched_drain)
 
     def _queue_dropped(self, packet: Packet, reason: str) -> None:
         self._emit("link.drop", packet=packet, reason=reason, qlen=len(self.queue))
@@ -167,11 +317,20 @@ class Link:
         if packet is None:
             return
         self._busy = True
-        self._sim.schedule(self.transmission_time(packet), self._transmission_done, packet)
+        # transmission_time() inlined; the expression must stay exactly
+        # ``size * 8.0 / bandwidth`` — a pre-divided constant would
+        # round differently and shift every digest-pinned timestamp.
+        self._sim.schedule(
+            packet.size * 8.0 / self.bandwidth_bps, self._transmission_done, packet
+        )
 
     def _transmission_done(self, packet: Packet) -> None:
         self._busy = False
-        self._emit("link.tx", packet=packet)
+        ch = self._ch_tx
+        if ch is None:
+            ch = self._bind_trace_channels()
+        if ch.subs:
+            ch.emit(self._sim.now, self.name, packet=packet)
         delay = self.delay
         if self.reorder is not None:
             delay += self.reorder.extra_delay(packet)
@@ -179,12 +338,24 @@ class Link:
         if not self.queue.is_empty:
             self._start_transmission()
 
+    #: Exact reference count of a packet at the recycle check below when
+    #: only the clean delivery chain holds it: the firing event's args
+    #: tuple + this frame's local + maybe_release's argument binding +
+    #: sys.getrefcount's temporary.  The consumers (host/agent receive)
+    #: have already returned, so the count is independent of how deep
+    #: that chain was; a forwarding router's queue, a retained trace
+    #: record or any other holder raises it and recycling is skipped.
+    _DELIVERED_CLEAN_REFS = 4
+
     def _deliver(self, packet: Packet) -> None:
         self.packets_delivered += 1
         self.bytes_delivered += packet.size
         if self._dst is None:
             raise ConfigurationError(f"link {self.name} has no destination node")
         self._dst.receive(packet)
+        # End of the wire journey for packets consumed by an endpoint:
+        # recycle into the packet pool unless anything still holds one.
+        maybe_release(packet, self._DELIVERED_CLEAN_REFS)
 
     def _emit(self, category: str, **fields) -> None:
         if self.trace is not None:

@@ -138,22 +138,29 @@ class Network:
         serial = 0  # heap tiebreaker; Link objects are not orderable
         heap: List[Tuple[float, str, int, Optional[Link]]] = [(0.0, origin, serial, None)]
         visited: set = set()
+        visited_add = visited.add
+        dist_get = dist.get
+        adj = self._adj
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         while heap:
-            d, u, _, via = heapq.heappop(heap)
+            d, u, _, via = heappop(heap)
             if u in visited:
                 continue
-            visited.add(u)
+            visited_add(u)
             if via is not None:
                 first_link[u] = via
-            for v, link in self._adj[u]:
+            for v, link in adj[u]:
                 # Weight = propagation delay + a small constant so hop
-                # count breaks ties deterministically.
+                # count breaks ties deterministically.  (Keep the
+                # two-step sum: its rounding decides near-ties.)
                 w = link.delay + 1e-9
                 nd = d + w
-                if v not in dist or nd < dist[v] - 1e-15:
+                known = dist_get(v)
+                if known is None or nd < known - 1e-15:
                     dist[v] = nd
                     serial += 1
-                    heapq.heappush(heap, (nd, v, serial, via if via is not None else link))
+                    heappush(heap, (nd, v, serial, via if via is not None else link))
         return dist, first_link
 
     # ------------------------------------------------------------------

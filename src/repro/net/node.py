@@ -105,7 +105,10 @@ class Host(Node):
             raise TopologyError(
                 f"host {self.name} received packet destined for {packet.dst}"
             )
-        self.agent_for(packet.flow_id).receive(packet)
+        agent = self._agents.get(packet.flow_id)  # agent_for inlined: hot
+        if agent is None:
+            raise TopologyError(f"{self.name}: no agent for flow {packet.flow_id}")
+        agent.receive(packet)
 
 
 class Router(Node):
@@ -113,4 +116,7 @@ class Router(Node):
 
     def receive(self, packet: Packet) -> None:
         self.packets_received += 1
-        self._forward(packet)
+        link = self.routes.get(packet.dst)  # _forward inlined: hot
+        if link is None:
+            raise TopologyError(f"{self.name}: no route to {packet.dst}")
+        link.send(packet)

@@ -96,6 +96,36 @@ class RedQueue(PacketQueue):
         self.forced_drops = 0
         self.overflow_drops = 0
         self.ecn_marks = 0
+        self._derive_params()
+
+    # ------------------------------------------------------------------
+    # derived caches / checkpointing
+    # ------------------------------------------------------------------
+    def _derive_params(self) -> None:
+        """Flatten the (frozen) params onto the instance: ``enqueue``
+        runs per packet and a local attribute beats two lookups."""
+        p = self.params
+        self._w = p.weight
+        self._min_th = p.min_th
+        self._max_th = p.max_th
+        self._max_p = p.max_p
+        self._gentle = p.gentle
+        self._ecn = p.ecn
+        self._forced_th = 2 * p.max_th if p.gentle else p.max_th
+
+    _DERIVED = ("_w", "_min_th", "_max_th", "_max_p", "_gentle", "_ecn", "_forced_th")
+
+    def __getstate__(self):
+        """The live ``__dict__`` minus the derived param caches, so
+        checkpoints and golden digests match a cache-free queue."""
+        state = self.__dict__.copy()
+        for key in self._DERIVED:
+            del state[key]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._derive_params()
 
     def set_mean_packet_time(self, seconds: float) -> None:
         """Set the typical transmission time used to age ``avg`` over
@@ -105,7 +135,7 @@ class RedQueue(PacketQueue):
 
     def _update_average(self) -> None:
         q = len(self._items)
-        w = self.params.weight
+        w = self._w
         if q > 0 or self._idle_since is None:
             self.avg = (1 - w) * self.avg + w * q
         else:
@@ -117,40 +147,51 @@ class RedQueue(PacketQueue):
             self.avg = (1 - w) * self.avg  # the arriving packet's update (q == 0)
 
     def enqueue(self, packet: Packet) -> bool:
-        self._update_average()
+        # _update_average() inlined — this runs per arriving packet.
+        items = self._items
+        q = len(items)
+        w = self._w
+        if q > 0 or self._idle_since is None:
+            avg = (1 - w) * self.avg + w * q
+        else:
+            idle = self._sim.now - self._idle_since
+            m = int(idle / self._mean_pkt_time)
+            avg = self.avg * (1 - w) ** m
+            avg = (1 - w) * avg  # the arriving packet's update (q == 0)
+        self.avg = avg
         self._idle_since = None
-        p = self.params
-        if len(self._items) >= self.limit:
+        if q >= self.limit:
             self.overflow_drops += 1
             self._count = 0
             return self._drop(packet, "overflow")
-        if p.gentle and p.max_th <= self.avg < 2 * p.max_th:
+        max_th = self._max_th
+        if self._gentle and max_th <= avg < 2 * max_th:
             # Gentle region: ramp from max_p to 1 over [max_th, 2max_th].
             self._count += 1
-            pb = p.max_p + (1.0 - p.max_p) * (self.avg - p.max_th) / p.max_th
+            pb = self._max_p + (1.0 - self._max_p) * (avg - max_th) / max_th
             denom = 1.0 - self._count * pb
             pa = 1.0 if denom <= 0 else min(1.0, pb / denom)
             if self._rng.bernoulli(pa):
                 self._count = 0
-                if p.ecn and packet.ecn_capable:
+                if self._ecn and packet.ecn_capable:
                     packet.ecn_marked = True
                     self.ecn_marks += 1
                     return self._accept(packet)
                 self.early_drops += 1
                 return self._drop(packet, "early")
             return self._accept(packet)
-        if self.avg >= (2 * p.max_th if p.gentle else p.max_th):
+        if avg >= self._forced_th:
             self.forced_drops += 1
             self._count = 0
             return self._drop(packet, "forced")
-        if self.avg >= p.min_th:
+        if avg >= self._min_th:
             self._count += 1
-            pb = p.max_p * (self.avg - p.min_th) / (p.max_th - p.min_th)
+            pb = self._max_p * (avg - self._min_th) / (max_th - self._min_th)
             denom = 1.0 - self._count * pb
             pa = 1.0 if denom <= 0 else min(1.0, pb / denom)
             if self._rng.bernoulli(pa):
                 self._count = 0
-                if p.ecn and packet.ecn_capable:
+                if self._ecn and packet.ecn_capable:
                     packet.ecn_marked = True
                     self.ecn_marks += 1
                     return self._accept(packet)
@@ -158,7 +199,9 @@ class RedQueue(PacketQueue):
                 return self._drop(packet, "early")
             return self._accept(packet)
         self._count = -1
-        return self._accept(packet)
+        items.append(packet)  # _accept inlined
+        self.enqueues += 1
+        return True
 
     def dequeue(self):
         packet = super().dequeue()

@@ -103,6 +103,10 @@ class RunManifest:
     wall_seconds: float = 0.0
     warm_prefix_hits: Optional[int] = None
     warm_prefix_captures: Optional[int] = None
+    #: Set when a requested warm start was auto-skipped by the
+    #: :func:`~repro.runner.warmstart.warm_start_decision` cost model;
+    #: holds the human-readable reason.  None = warm start not skipped.
+    warm_start_skipped: Optional[str] = None
     tasks: List[Dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -152,6 +156,11 @@ class RunManifest:
         :class:`~repro.runner.warmstart.SnapshotStore`."""
         self.warm_prefix_hits = store.prefix_hits
         self.warm_prefix_captures = store.prefix_captures
+
+    def note_warm_start_skipped(self, reason: str) -> None:
+        """Record that a requested warm start was auto-skipped (the
+        cost model predicted no win) and why."""
+        self.warm_start_skipped = reason
 
     def finish(self, outcome: str = "ok") -> None:
         self.finished_at = _utc_now()

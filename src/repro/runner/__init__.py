@@ -34,10 +34,12 @@ from repro.runner.warmstart import (
     PrefixSpec,
     SNAPSHOT_SUBDIR,
     SnapshotStore,
+    WarmStartDecision,
     fetch_prefix,
     load_prefix,
     step_until,
     warm_specs,
+    warm_start_decision,
 )
 
 __all__ = [
@@ -59,6 +61,7 @@ __all__ = [
     "SweepStats",
     "TaskRecord",
     "TaskSpec",
+    "WarmStartDecision",
     "canonicalize",
     "code_fingerprint",
     "default_jobs",
@@ -72,4 +75,5 @@ __all__ = [
     "step_until",
     "uncanonicalize",
     "warm_specs",
+    "warm_start_decision",
 ]

@@ -48,6 +48,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -75,6 +76,17 @@ PREFIX_META_SUBDIR = "prefix-meta"
 #: a delta, etc.).  Forks diff against full prefixes in practice, so
 #: anything deeper than this is a store corruption, not a design.
 MAX_DELTA_CHAIN = 8
+
+#: Cost-model constants for :func:`warm_start_decision`, expressed as
+#: fractions of one cold cell's runtime.  Capturing a prefix pays for
+#: pickling, digesting and atomically writing the frozen world on top
+#: of simulating it; each warm cell pays an unpickle + uid rewind.
+#: Calibrated coarsely against BENCH_experiments.json (table5's warm
+#: replay at 0.99x cold with a ~2.5% prefix fraction pins the restore
+#: overhead near 5%); the model only needs the sign of the saving, not
+#: its magnitude.
+CAPTURE_OVERHEAD_FRACTION = 0.10
+RESTORE_OVERHEAD_FRACTION = 0.05
 
 
 class PrefixSpec(TaskSpec):
@@ -113,6 +125,103 @@ def step_until(
             return False
         sim.run(until=sim.now + step)
     return True
+
+
+@dataclass(frozen=True)
+class WarmStartDecision:
+    """Outcome of :func:`warm_start_decision` — the cheap go/no-go cost
+    model behind auto-skipped warm starts.  ``reason`` is human-readable
+    and lands in the run manifest as ``warm_start_skipped`` when
+    ``use_warm`` is False."""
+
+    use_warm: bool
+    reason: str
+    cells: int
+    prefixes: int
+    missing: int
+    prefix_fraction: float
+    #: Predicted sweep-time saving in units of one cold cell's runtime
+    #: (negative = warm-starting would cost time).
+    predicted_saving: float
+
+
+def warm_start_decision(
+    cells: Sequence,
+    prefix_for: Callable[..., PrefixSpec],
+    prefix_fraction: float,
+    store: "SnapshotStore",
+    fingerprint: Optional[str] = None,
+) -> WarmStartDecision:
+    """Predict whether warm-starting this sweep beats running it cold.
+
+    The model is deliberately cheap — it groups the cells by prefix
+    digest and compares, in units of one cold cell's runtime:
+
+    * **spent**: simulating each prefix *not already in the store*
+      (``prefix_fraction`` each) plus its capture overhead
+      (:data:`CAPTURE_OVERHEAD_FRACTION`), plus every cell's restore
+      overhead (:data:`RESTORE_OVERHEAD_FRACTION`);
+    * **saved**: the prefix fraction of every cell, which warm cells
+      skip.
+
+    A sweep where each cell has a unique prefix (no sharing) can never
+    win on its first pass: the prefix is simulated exactly as often as
+    cold would, plus the snapshot round-trip — table5's measured
+    warm-pass parity in BENCH_experiments.json.  The model is greedy
+    per sweep: it does not credit a capture against *future* sweeps'
+    replays, so callers that want to invest anyway (benchmarks, the
+    bit-identity suites) pass ``warm_start="force"`` to the harnesses.
+    """
+    n = len(cells)
+    if n == 0:
+        return WarmStartDecision(False, "empty sweep", 0, 0, 0, prefix_fraction, 0.0)
+    if prefix_fraction <= 0.0:
+        return WarmStartDecision(
+            False,
+            "prefix fraction is ~0: nothing for warm cells to skip",
+            n,
+            0,
+            0,
+            prefix_fraction,
+            0.0,
+        )
+    if fingerprint is None:
+        from repro.runner.fingerprint import code_fingerprint
+
+        fingerprint = code_fingerprint()
+    prefixes: Dict[str, PrefixSpec] = {}
+    for cell in cells:
+        prefix = prefix_for(cell)
+        prefixes.setdefault(prefix.digest(), prefix)
+    missing = sum(
+        1
+        for prefix in prefixes.values()
+        if store.lookup_prefix(prefix, fingerprint) is None
+    )
+    saving = (
+        prefix_fraction * n                      # work warm cells skip
+        - RESTORE_OVERHEAD_FRACTION * n          # every cell unpickles
+        - prefix_fraction * missing              # prefixes still simulated once
+        - CAPTURE_OVERHEAD_FRACTION * missing    # + pickled, digested, stored
+    )
+    detail = (
+        f"{n} cells over {len(prefixes)} prefixes ({missing} to capture), "
+        f"prefix fraction {prefix_fraction:.2f}, predicted saving "
+        f"{saving:+.2f} cold-cell units"
+    )
+    if saving > 0.0:
+        return WarmStartDecision(
+            True, detail, n, len(prefixes), missing, prefix_fraction, saving
+        )
+    return WarmStartDecision(
+        False,
+        f"no predicted win: {detail}",
+        n,
+        len(prefixes),
+        missing,
+        prefix_fraction,
+        saving,
+    )
 
 
 def capture_prefix_cell(

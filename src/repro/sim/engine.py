@@ -29,6 +29,30 @@ The engine is deliberately minimal and deterministic:
   running :meth:`Simulator.run` return before the next event — the
   mechanism the watchdog uses to abort gracefully instead of hanging.
 
+Performance architecture
+------------------------
+Two interchangeable dispatch backends sit behind the one ``Simulator``
+class:
+
+* the **pure-python** backend (always available) keeps the heap as a
+  list of ``(time, serial, event)`` tuples and runs an inlined dispatch
+  loop in :meth:`Simulator.run`;
+* the optional **compiled** backend (``repro.sim._engine_core``, a C
+  extension built via ``pip install .[compiled]`` or ``python setup.py
+  build_ext --inplace``) keeps the heap as a C array and runs the
+  dispatch loop in C.  Events stay ordinary Python :class:`Event`
+  objects in both backends, so pickles, golden digests and snapshots
+  are bit-identical across backends and an extension-less host falls
+  back cleanly.  Set ``REPRO_PURE_PYTHON=1`` to force the fallback even
+  when the extension is importable; ``CORE_BACKEND`` reports the choice.
+
+Fired and cancelled events are recycled through a per-simulator free
+list when (and only when) an exact reference-count check proves nothing
+outside the engine still holds them, so steady-state event churn
+allocates nothing.  The free list is engine-internal derived state: it
+is never pickled and :meth:`Simulator.drain_event_pool` empties it
+before snapshot capture.
+
 Example
 -------
 >>> sim = Simulator()
@@ -44,6 +68,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
+import sys
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import CallbackError, ReproError, SchedulingError, SimulationError
@@ -55,6 +81,22 @@ NEGATIVE_DELAY_EPSILON = 1e-9
 #: Below this heap size, compaction is never triggered: rebuilding a
 #: tiny heap every few cancels would cost more than the lazy entries.
 HEAP_COMPACT_MIN = 64
+
+# ----------------------------------------------------------------------
+# compiled-core selection (import time, per process)
+# ----------------------------------------------------------------------
+_CoreType = None
+if os.environ.get("REPRO_PURE_PYTHON", "").strip() in ("", "0"):
+    try:  # pragma: no cover - exercised by the compiled-core CI leg
+        from repro.sim import _engine_core as _engine_core_module
+
+        _CoreType = _engine_core_module.Core
+    except ImportError:
+        _CoreType = None
+
+#: Which dispatch backend new simulators use: ``"compiled"`` when the
+#: optional C extension imported, else ``"python"``.
+CORE_BACKEND = "python" if _CoreType is None else "compiled"
 
 
 class Event:
@@ -117,6 +159,18 @@ class Event:
         return f"Event(t={self.time:.6f}, serial={self.serial}, {state})"
 
 
+if _CoreType is not None:
+    # Hand the compiled core the Event class and its slot offsets so the
+    # C dispatch loop reads/writes event fields with direct memory
+    # access.  Any surprise in the class layout demotes us to the pure
+    # backend instead of risking memory-unsafe offsets.
+    try:  # pragma: no cover - exercised by the compiled-core CI leg
+        _engine_core_module.register_event_type(Event)
+    except Exception:
+        _CoreType = None
+        CORE_BACKEND = "python"
+
+
 class Simulator:
     """A discrete-event simulator with deterministic ordering.
 
@@ -127,29 +181,46 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0):
-        self._now = float(start_time)
-        # Heap entries are (time, serial, event): comparisons during
-        # sift run entirely in C on the leading floats/ints and only
-        # ever reach the first two slots (serials are unique), so
-        # Event.__lt__ and its tuple allocations stay off the hot loop.
-        self._heap: List[Tuple[float, int, Event]] = []
-        self._serial = itertools.count()
+        # Free list of recycled Event objects, shared with the compiled
+        # core when active.  Derived state: never pickled (the custom
+        # __getstate__ below simply omits it).
+        self._event_free: List[Event] = []
         self._running = False
-        self._events_processed = 0
-        self._pending = 0
-        self._cancelled_in_heap = 0
-        self._stop_requested = False
         self._stop_reason: Optional[str] = None
+        if _CoreType is not None:
+            core = _CoreType(float(start_time))
+            core.set_free_list(self._event_free)
+            self._core = core
+            # The core doubles as the heap view: len() counts entries
+            # (cancelled included) and iteration yields the same
+            # (time, serial, event) tuples the pure heap stores, so
+            # introspection code works unchanged across backends.
+            self._heap = core
+        else:
+            self._core = None
+            self._now = float(start_time)
+            # Heap entries are (time, serial, event): comparisons during
+            # sift run entirely in C on the leading floats/ints and only
+            # ever reach the first two slots (serials are unique), so
+            # Event.__lt__ and its tuple allocations stay off the hot loop.
+            self._heap: List[Tuple[float, int, Event]] = []
+            self._serial = itertools.count()
+            self._events_processed = 0
+            self._pending = 0
+            self._cancelled_count = 0
+            self._stop_requested = False
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
-        return self._now
+        core = self._core
+        return self._now if core is None else core.now
 
     @property
     def events_processed(self) -> int:
         """Number of events fired so far (cancelled events excluded)."""
-        return self._events_processed
+        core = self._core
+        return self._events_processed if core is None else core.events_processed
 
     @property
     def pending_events(self) -> int:
@@ -158,12 +229,24 @@ class Simulator:
         Maintained incrementally on schedule/cancel/fire, so reading it
         is O(1) — safe to poll from per-tick monitors.
         """
-        return self._pending
+        core = self._core
+        return self._pending if core is None else core.pending
+
+    @property
+    def cancelled_in_heap(self) -> int:
+        """Number of lazily-deleted (cancelled) entries still in the
+        heap — observability for compaction behaviour."""
+        core = self._core
+        return self._cancelled_count if core is None else core.cancelled
+
+    # Backwards-compatible private alias (tests and older tooling).
+    _cancelled_in_heap = cancelled_in_heap
 
     @property
     def stop_requested(self) -> bool:
         """True after :meth:`request_stop` until the next :meth:`run`."""
-        return self._stop_requested
+        core = self._core
+        return self._stop_requested if core is None else bool(core.stop_requested)
 
     @property
     def stop_reason(self) -> Optional[str]:
@@ -174,8 +257,12 @@ class Simulator:
         """Ask a running :meth:`run` loop to return before firing the
         next event.  Callable from inside event callbacks (that is the
         point); a no-op outside ``run`` beyond recording the reason."""
-        self._stop_requested = True
         self._stop_reason = reason or None
+        core = self._core
+        if core is None:
+            self._stop_requested = True
+        else:
+            core.request_stop()
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
@@ -190,30 +277,97 @@ class Simulator:
                 delay = 0.0
             else:
                 raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        core = self._core
+        if core is not None:
+            # The entire fast path — serial, event reuse/allocation,
+            # slot fill, heap push — happens inside the core.
+            return core.schedule(delay, fn, args, self)
+        time = self._now + delay
         serial = next(self._serial)
-        event = Event(self._now + delay, serial, fn, args, sim=self)
-        heapq.heappush(self._heap, (event.time, serial, event))
+        free = self._event_free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.serial = serial
+            event.fn = fn
+            event.args = args
+            event._cancelled = False
+            event._fired = False
+            event._sim = self
+        else:
+            event = Event(time, serial, fn, args, sim=self)
+        heapq.heappush(self._heap, (time, serial, event))
         self._pending += 1
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
-        return self.schedule(time - self._now, fn, *args)
+        return self.schedule(time - self.now, fn, *args)
+
+    def schedule_abs(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule at an *exact* absolute timestamp.
+
+        Unlike :meth:`schedule_at` (which round-trips through a delay
+        and re-adds it to ``now``), the event fires at float-identical
+        ``time`` — what callers amortizing several hops into one event
+        need to reproduce a chained schedule's timestamps bit-exactly.
+        """
+        now = self.now
+        if time < now:
+            if time >= now - NEGATIVE_DELAY_EPSILON:
+                time = now
+            else:
+                raise SchedulingError(
+                    f"cannot schedule into the past (time={time}, now={now})"
+                )
+        core = self._core
+        if core is not None:
+            return core.schedule_abs(time, fn, args, self)
+        serial = next(self._serial)
+        free = self._event_free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.serial = serial
+            event.fn = fn
+            event.args = args
+            event._cancelled = False
+            event._fired = False
+            event._sim = self
+        else:
+            event = Event(time, serial, fn, args, sim=self)
+        heapq.heappush(self._heap, (time, serial, event))
+        self._pending += 1
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
+        core = self._core
+        if core is not None:
+            return core.peek_time()
         self._drop_cancelled()
         return self._heap[0][0] if self._heap else None
+
+    def drain_event_pool(self) -> int:
+        """Empty the event free list (snapshot-capture hygiene hook).
+        Returns the number of pooled events discarded."""
+        drained = len(self._event_free)
+        self._event_free.clear()
+        return drained
 
     def _note_cancelled(self) -> None:
         """Bookkeeping for a lazily-deleted heap entry (called by
         :meth:`Event.cancel`): keep the pending count exact, and compact
         the heap once cancelled entries outnumber live ones."""
+        core = self._core
+        if core is not None:
+            core.note_cancelled()
+            return
         self._pending -= 1
-        self._cancelled_in_heap += 1
+        self._cancelled_count += 1
         if (
-            self._cancelled_in_heap > HEAP_COMPACT_MIN
-            and self._cancelled_in_heap * 2 > len(self._heap)
+            self._cancelled_count > HEAP_COMPACT_MIN
+            and self._cancelled_count * 2 > len(self._heap)
         ):
             self._compact()
 
@@ -222,16 +376,55 @@ class Simulator:
 
         Filtering preserves relative order of the survivors well enough
         for :func:`heapq.heapify` to restore the invariant; pop order is
-        unchanged because (time, serial) keys are unique.
+        unchanged because (time, serial) keys are unique.  Dead events
+        that nothing else holds are recycled into the free list.
         """
-        self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
-        heapq.heapify(self._heap)
-        self._cancelled_in_heap = 0
+        old = self._heap
+        self._heap = live = []
+        free = self._event_free
+        getrefcount = sys.getrefcount
+        for entry in old:
+            event = entry[2]
+            if event._cancelled:
+                # Clean chain here: the old heap's entry tuple + our
+                # local + getrefcount's temporary.
+                if getrefcount(event) == 3:
+                    event.fn = None
+                    event.args = None
+                    free.append(event)
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._cancelled_count = 0
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0][2]._cancelled:
-            heapq.heappop(self._heap)
-            self._cancelled_in_heap -= 1
+        heap = self._heap
+        free = self._event_free
+        getrefcount = sys.getrefcount
+        while heap and heap[0][2]._cancelled:
+            event = heapq.heappop(heap)[2]
+            self._cancelled_count -= 1
+            # Clean chain: our local + getrefcount's temporary (the
+            # popped heap tuple is already gone).
+            if getrefcount(event) == 2:
+                event.fn = None
+                event.args = None
+                free.append(event)
+
+    def _sim_context(self, event: Event) -> dict:
+        return {
+            "sim_time": self.now,
+            "event": repr(event),
+            "events_processed": self.events_processed,
+        }
+
+    def _callback_error(self, exc: BaseException, event: Event) -> CallbackError:
+        return CallbackError(
+            f"event callback failed at t={self.now:.6f}: "
+            f"{type(exc).__name__}: {exc} (event={event!r})",
+            sim_time=self.now,
+            event=event,
+        )
 
     def step(self) -> bool:
         """Fire the single next pending event.
@@ -242,6 +435,16 @@ class Simulator:
         repro-native errors propagate as-is with a ``sim_context``
         attribute describing the clock and event.
         """
+        core = self._core
+        if core is not None:
+            try:
+                return bool(core.step1())
+            except ReproError as exc:
+                if getattr(exc, "sim_context", None) is None:
+                    exc.sim_context = self._sim_context(core.take_current_event())
+                raise
+            except Exception as exc:
+                raise self._callback_error(exc, core.take_current_event()) from exc
         self._drop_cancelled()
         if not self._heap:
             return False
@@ -258,19 +461,16 @@ class Simulator:
             event.fn(*event.args)
         except ReproError as exc:
             if getattr(exc, "sim_context", None) is None:
-                exc.sim_context = {
-                    "sim_time": self._now,
-                    "event": repr(event),
-                    "events_processed": self._events_processed,
-                }
+                exc.sim_context = self._sim_context(event)
             raise
         except Exception as exc:
-            raise CallbackError(
-                f"event callback failed at t={self._now:.6f}: "
-                f"{type(exc).__name__}: {exc} (event={event!r})",
-                sim_time=self._now,
-                event=event,
-            ) from exc
+            raise self._callback_error(exc, event) from exc
+        # Recycle unless someone outside the engine still holds the
+        # event (clean chain: our local + getrefcount's temporary).
+        if sys.getrefcount(event) == 2:
+            event.fn = None
+            event.args = None
+            self._event_free.append(event)
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -288,43 +488,100 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
-        self._stop_requested = False
         self._stop_reason = None
+        core = self._core
         fired = 0
         interrupted = False  # stopped with events possibly still due
         try:
-            while True:
-                if self._stop_requested or (
-                    max_events is not None and fired >= max_events
-                ):
-                    interrupted = True
-                    break
-                self._drop_cancelled()
-                if not self._heap:
-                    break
-                if until is not None and self._heap[0][0] > until:
-                    break
-                self.step()
-                fired += 1
+            if core is not None:
+                core.clear_stop()
+                try:
+                    fired, interrupted = core.run(until, max_events)
+                except ReproError as exc:
+                    if getattr(exc, "sim_context", None) is None:
+                        exc.sim_context = self._sim_context(core.take_current_event())
+                    raise
+                except Exception as exc:
+                    raise self._callback_error(exc, core.take_current_event()) from exc
+            else:
+                self._stop_requested = False
+                # Inlined dispatch loop: one bytecode loop per event
+                # instead of a run->step call pair, with hoisted
+                # builtins.  Semantics (stop/max_events/until ordering,
+                # exception wrapping, end-clock advance) are identical
+                # to step() — the engine test suite pins them.
+                heappop = heapq.heappop
+                getrefcount = sys.getrefcount
+                free = self._event_free
+                while True:
+                    if self._stop_requested or (
+                        max_events is not None and fired >= max_events
+                    ):
+                        interrupted = True
+                        break
+                    heap = self._heap  # re-read: compaction/clear rebind it
+                    while heap and heap[0][2]._cancelled:
+                        event = heappop(heap)[2]
+                        self._cancelled_count -= 1
+                        if getrefcount(event) == 2:
+                            event.fn = None
+                            event.args = None
+                            free.append(event)
+                    if not heap:
+                        break
+                    etime = heap[0][0]
+                    if until is not None and etime > until:
+                        break
+                    event = heappop(heap)[2]
+                    self._now = etime
+                    event._fired = True
+                    self._pending -= 1
+                    self._events_processed += 1
+                    try:
+                        event.fn(*event.args)
+                    except ReproError as exc:
+                        if getattr(exc, "sim_context", None) is None:
+                            exc.sim_context = self._sim_context(event)
+                        raise
+                    except Exception as exc:
+                        raise self._callback_error(exc, event) from exc
+                    if getrefcount(event) == 2:
+                        event.fn = None
+                        event.args = None
+                        free.append(event)
+                    fired += 1
         finally:
             self._running = False
-        if until is not None and until > self._now:
-            self._drop_cancelled()
-            if not (interrupted and self._heap and self._heap[0][0] <= until):
-                self._now = until
+        if until is not None and until > self.now:
+            if core is not None:
+                head = core.peek_time()
+                if not (interrupted and head is not None and head <= until):
+                    core.set_now(until)
+            else:
+                self._drop_cancelled()
+                if not (interrupted and self._heap and self._heap[0][0] <= until):
+                    self._now = until
         return fired
 
     def clear(self) -> None:
         """Drop all pending events (they are marked cancelled)."""
+        core = self._core
+        if core is not None:
+            entries = core.entries()
+            core.reset_heap()
+            for _, _, event in entries:
+                if not (event._cancelled or event._fired):
+                    event._cancelled = True
+            return
         # Detach the heap first: Event.cancel may trigger a compaction
         # that would rebuild the list being iterated.
         heap, self._heap = self._heap, []
-        self._cancelled_in_heap = 0
+        self._cancelled_count = 0
         for _, _, event in heap:
             event.cancel()
         # The cancels above counted against the (empty) new heap; the
         # entries they refer to are already gone.
-        self._cancelled_in_heap = 0
+        self._cancelled_count = 0
 
     # ------------------------------------------------------------------
     # checkpoint / restore (pickle protocol)
@@ -335,11 +592,28 @@ class Simulator:
         Cancelled entries are dropped and the pending heap is stored
         fully sorted, so two engines whose observable behavior is
         identical pickle identically regardless of incidental heap
-        array layout (compaction history, pop order).  A sorted list is
-        itself a valid min-heap, so ``__setstate__`` can use it as-is.
+        array layout (compaction history, pop order) — and regardless
+        of dispatch backend: the compiled core reconstructs the same
+        (time, serial, event) tuples the pure heap stores.  A sorted
+        list is itself a valid min-heap, so ``__setstate__`` can use it
+        as-is.
         """
         if self._running:
             raise SimulationError("cannot pickle a Simulator while it is running")
+        core = self._core
+        if core is not None:
+            pending = [
+                entry for entry in core.entries() if not entry[2]._cancelled
+            ]
+            pending.sort(key=lambda entry: (entry[0], entry[1]))
+            return {
+                "now": core.now,
+                "serial_next": core.serial_next,
+                "heap": pending,
+                "events_processed": core.events_processed,
+                "stop_requested": bool(core.stop_requested),
+                "stop_reason": self._stop_reason,
+            }
         pending = sorted(
             (entry for entry in self._heap if not entry[2]._cancelled),
             key=lambda entry: (entry[0], entry[1]),
@@ -354,14 +628,28 @@ class Simulator:
         }
 
     def __setstate__(self, state) -> None:
-        self._now = state["now"]
-        self._heap = list(state["heap"])  # sorted => valid min-heap
-        self._serial = itertools.count(state["serial_next"])
+        self._event_free = []
         self._running = False
-        self._events_processed = state["events_processed"]
-        self._pending = len(self._heap)
-        self._cancelled_in_heap = 0
-        self._stop_requested = state["stop_requested"]
         self._stop_reason = state["stop_reason"]
+        if _CoreType is not None:
+            core = _CoreType(state["now"])
+            core.set_free_list(self._event_free)
+            core.set_serial(state["serial_next"])
+            core.set_events_processed(state["events_processed"])
+            if state["stop_requested"]:
+                core.request_stop()
+            for time, serial, event in state["heap"]:
+                core.push(time, serial, event)
+            self._core = core
+            self._heap = core
+        else:
+            self._core = None
+            self._now = state["now"]
+            self._heap = list(state["heap"])  # sorted => valid min-heap
+            self._serial = itertools.count(state["serial_next"])
+            self._events_processed = state["events_processed"]
+            self._pending = len(self._heap)
+            self._cancelled_count = 0
+            self._stop_requested = state["stop_requested"]
         # Unpickled events carry their own _sim reference via the heap
         # entries; nothing else to rewire.

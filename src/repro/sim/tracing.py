@@ -38,6 +38,41 @@ class TraceRecord:
 Subscriber = Callable[[TraceRecord], None]
 
 
+class TraceChannel:
+    """A per-category emit handle with a live merged-subscriber list.
+
+    Hot call sites hold one of these (obtained from
+    :meth:`TraceBus.channel`) and guard on ``channel.subs`` *before*
+    building the field dict, so an unsubscribed category costs one
+    attribute load and one truthiness test — no kwargs dict, no
+    :class:`TraceRecord`.  The bus keeps ``subs`` current on every
+    subscribe/unsubscribe (including wildcard changes), so mid-run
+    subscriptions re-enable the category immediately.
+    """
+
+    __slots__ = ("category", "subs")
+
+    def __init__(self, category: str, subs: List[Subscriber]):
+        self.category = category
+        self.subs = subs
+
+    def emit(self, time: float, source: str, **fields: Any) -> None:
+        """Build and deliver a record.  Callers on hot paths should
+        check ``self.subs`` first and skip the call entirely when it is
+        empty; calling unconditionally is still correct."""
+        subs = self.subs
+        if subs:
+            record = TraceRecord(time=time, category=self.category, source=source, fields=fields)
+            for fn in subs:
+                fn(record)
+
+
+#: Shared no-op channel for components constructed without a trace bus:
+#: ``subs`` is permanently empty, so the hot-path guard stays a single
+#: attribute test with no ``trace is None`` special case.
+NULL_CHANNEL = TraceChannel("<null>", [])
+
+
 class TraceBus:
     """Publish/subscribe hub for :class:`TraceRecord` objects.
 
@@ -59,18 +94,43 @@ class TraceBus:
         # empty snapshot is cached too: that is what keeps the
         # nobody-listening emit at one lookup.
         self._merged: Dict[str, List[Subscriber]] = {}
+        # category -> TraceChannel handed to hot call sites.  Channels
+        # are updated eagerly on subscription changes (rare) so the
+        # per-emit fast path never has to revalidate.
+        self._channels: Dict[str, TraceChannel] = {}
+
+    def channel(self, category: str) -> TraceChannel:
+        """A cacheable per-category emit handle (see
+        :class:`TraceChannel`).  Repeated calls return the same object,
+        and its ``subs`` list tracks subscription changes."""
+        ch = self._channels.get(category)
+        if ch is None:
+            merged = self._merged.get(category)
+            if merged is None:
+                merged = self._merge(category)
+            ch = TraceChannel(category, merged)
+            self._channels[category] = ch
+        return ch
 
     def _invalidate(self, category: str) -> None:
+        # _merge refreshes any existing channel's subs as a side effect.
         if category == self.WILDCARD:
             self._merged.clear()
+            for ch in self._channels.values():
+                self._merge(ch.category)
         else:
             self._merged.pop(category, None)
+            if category in self._channels:
+                self._merge(category)
 
     def _merge(self, category: str) -> List[Subscriber]:
         merged = list(self._subscribers.get(category, ()))
         if category != self.WILDCARD:
             merged.extend(self._subscribers.get(self.WILDCARD, ()))
         self._merged[category] = merged
+        ch = self._channels.get(category)
+        if ch is not None:
+            ch.subs = merged
         return merged
 
     def subscribe(self, category: str, fn: Subscriber) -> None:
@@ -128,6 +188,7 @@ class TraceBus:
         for category, subscribers in state["subscribers"].items():
             self._subscribers[category] = list(subscribers)
         self._merged = {}
+        self._channels = {}
 
 
 class TraceTail:

@@ -32,7 +32,7 @@ from repro.net.node import Agent
 from repro.net.packet import Packet, data_packet
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
-from repro.sim.tracing import TraceBus
+from repro.sim.tracing import NULL_CHANNEL, TraceBus
 from repro.tcp.rtt import RtoEstimator
 
 
@@ -145,6 +145,47 @@ class TcpSender(Agent):
         self.ecn_reactions = 0
         # RFC 3168: do not also grow cwnd on the ACK carrying the echo.
         self._suppress_growth = False
+
+        # --- derived tracing state (never pickled; see __getstate__) ---
+        self._bind_trace_channels()
+
+    # ------------------------------------------------------------------
+    # tracing fast path
+    # ------------------------------------------------------------------
+    #: Attributes derived from ``trace``; excluded from pickles/digests
+    #: and lazily rebuilt after restore.
+    _TRACE_DERIVED = ("_ch_send", "_ch_ack", "_ch_cwnd", "_trace_src")
+
+    def _bind_trace_channels(self) -> "None":
+        """(Re)derive the cached per-category channels and source label.
+
+        The per-packet emit sites (tcp.send / tcp.ack / tcp.cwnd) guard
+        on ``channel.subs`` so an unsubscribed category costs one
+        attribute test and allocates nothing."""
+        trace = self.trace
+        if trace is None:
+            self._ch_send = self._ch_ack = self._ch_cwnd = NULL_CHANNEL
+        else:
+            self._ch_send = trace.channel("tcp.send")
+            self._ch_ack = trace.channel("tcp.ack")
+            self._ch_cwnd = trace.channel("tcp.cwnd")
+        self._trace_src = f"{self.variant}/f{self.flow_id}"
+
+    def __getstate__(self):
+        """Pickle/digest state: the live ``__dict__`` minus derived
+        trace caches, so checkpoints (and golden digests) are identical
+        to a sender that never cached anything."""
+        state = self.__dict__.copy()
+        for key in self._TRACE_DERIVED:
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        # The trace bus may itself still be mid-unpickle (cycles), so
+        # channels are rebound lazily on the first emit.
+        self._ch_send = self._ch_ack = self._ch_cwnd = None
+        self._trace_src = None
 
     # ------------------------------------------------------------------
     # application interface
@@ -271,14 +312,20 @@ class TcpSender(Agent):
         if not self._timer.pending:
             self._timer.start(self.rto.current())
         self.observer.on_send(now, self, seqno, retransmit)
-        self._emit(
-            "tcp.send",
-            seqno=seqno,
-            retransmit=retransmit,
-            snd_una=self.snd_una,
-            snd_nxt=self.snd_nxt,
-            maxseq=self.maxseq,
-        )
+        ch = self._ch_send
+        if ch is None:
+            self._bind_trace_channels()
+            ch = self._ch_send
+        if ch.subs:
+            ch.emit(
+                now,
+                self._trace_src,
+                seqno=seqno,
+                retransmit=retransmit,
+                snd_una=self.snd_una,
+                snd_nxt=self.snd_nxt,
+                maxseq=self.maxseq,
+            )
         self.send(packet)
 
     # ------------------------------------------------------------------
@@ -291,26 +338,34 @@ class TcpSender(Agent):
             self._ecn_reaction()
             self._suppress_growth = True
         ackno = packet.ackno
+        ch = self._ch_ack
+        if ch is None:
+            self._bind_trace_channels()
+            ch = self._ch_ack
         if ackno > self.snd_una:
             self.observer.on_ack(self.sim.now, self, ackno, duplicate=False)
-            self._emit(
-                "tcp.ack",
-                ackno=ackno,
-                duplicate=False,
-                snd_una=self.snd_una,
-                snd_nxt=self.snd_nxt,
-            )
+            if ch.subs:
+                ch.emit(
+                    self.sim.now,
+                    self._trace_src,
+                    ackno=ackno,
+                    duplicate=False,
+                    snd_una=self.snd_una,
+                    snd_nxt=self.snd_nxt,
+                )
             self._process_new_ack(packet)
             self._check_complete()
         elif ackno == self.snd_una and self.flight() > 0:
             self.observer.on_ack(self.sim.now, self, ackno, duplicate=True)
-            self._emit(
-                "tcp.ack",
-                ackno=ackno,
-                duplicate=True,
-                snd_una=self.snd_una,
-                snd_nxt=self.snd_nxt,
-            )
+            if ch.subs:
+                ch.emit(
+                    self.sim.now,
+                    self._trace_src,
+                    ackno=ackno,
+                    duplicate=True,
+                    snd_una=self.snd_una,
+                    snd_nxt=self.snd_nxt,
+                )
             self._process_dupack(packet)
         # older ACKs are stale: ignored
         self._suppress_growth = False
@@ -355,7 +410,12 @@ class TcpSender(Agent):
 
     def _note_cwnd(self) -> None:
         self.observer.on_cwnd(self.sim.now, self, self.cwnd)
-        self._emit("tcp.cwnd", cwnd=self.cwnd)
+        ch = self._ch_cwnd
+        if ch is None:
+            self._bind_trace_channels()
+            ch = self._ch_cwnd
+        if ch.subs:
+            ch.emit(self.sim.now, self._trace_src, cwnd=self.cwnd)
 
     def _halved_ssthresh(self) -> float:
         """The standard multiplicative decrease: half the flight size,
@@ -457,9 +517,11 @@ class TcpSender(Agent):
     # ------------------------------------------------------------------
     def _emit(self, category: str, **fields) -> None:
         if self.trace is not None:
-            self.trace.emit(
-                self.sim.now, category, f"{self.variant}/f{self.flow_id}", **fields
-            )
+            src = self._trace_src
+            if src is None:
+                self._bind_trace_channels()
+                src = self._trace_src
+            self.trace.emit(self.sim.now, category, src, **fields)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

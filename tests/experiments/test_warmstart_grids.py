@@ -3,6 +3,12 @@
 figure5's warm path is covered in tests/snapshot/test_fork.py; this
 module covers the other four harnesses that adopted the
 :mod:`repro.runner.warmstart` contract, each with a trimmed grid.
+
+``warm_start="force"`` bypasses the warm-start cost model
+(:func:`repro.runner.warmstart.warm_start_decision`) so these suites
+always exercise the snapshot machinery — the trimmed grids are exactly
+the shape the model would (correctly) refuse to warm-start.  The model
+itself is covered in tests/runner/test_warmstart_economics.py.
 """
 
 import pytest
@@ -42,10 +48,10 @@ GRIDS = [
 def test_warm_matches_cold(tmp_path, run_fn, config, rows_of):
     cold = run_fn(config, runner=SweepRunner())
     store = SnapshotStore(tmp_path / "snaps")
-    warm = run_fn(config, runner=SweepRunner(), warm_start=True, store=store)
+    warm = run_fn(config, runner=SweepRunner(), warm_start="force", store=store)
     assert rows_of(warm) == rows_of(cold)
     # Replay through the prefix index (no recapture) stays identical.
-    replay = run_fn(config, runner=SweepRunner(), warm_start=True, store=store)
+    replay = run_fn(config, runner=SweepRunner(), warm_start="force", store=store)
     assert rows_of(replay) == rows_of(cold)
 
 
@@ -58,7 +64,7 @@ def test_table5_first_warm_pass_captures_prefixes_in_parallel(tmp_path):
     cold = run_table5(config, runner=SweepRunner())
     store = SnapshotStore(tmp_path / "snaps")
     warm = run_table5(
-        config, runner=SweepRunner(jobs=2), warm_start=True, store=store
+        config, runner=SweepRunner(jobs=2), warm_start="force", store=store
     )
     assert warm.rows == cold.rows
     assert store.prefix_captures == 2
@@ -68,9 +74,9 @@ def test_table5_first_warm_pass_captures_prefixes_in_parallel(tmp_path):
 def test_parallel_warm_matches_serial(tmp_path):
     store = SnapshotStore(tmp_path / "snaps")
     serial = run_figure7(
-        FIG7, runner=SweepRunner(jobs=1), warm_start=True, store=store
+        FIG7, runner=SweepRunner(jobs=1), warm_start="force", store=store
     )
     parallel = run_figure7(
-        FIG7, runner=SweepRunner(jobs=2), warm_start=True, store=store
+        FIG7, runner=SweepRunner(jobs=2), warm_start="force", store=store
     )
     assert parallel.points == serial.points

@@ -1,0 +1,187 @@
+"""Batched-egress equivalence: opt-in batching must change only the
+engine event stream, never the observable network behaviour.
+
+Every scenario here is run twice — default transmitter vs batched —
+and compared on *bit-equal* delivery timestamps, delivery order, and
+drop decisions.  Equality is exact (``==`` on floats), not approx:
+batching elides events, it must not re-round arithmetic.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+from repro.net.packet import data_packet
+from repro.net.queues import DropTailQueue
+from repro.net.reorder import JitterReorderer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+class SinkNode:
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet.seqno))
+
+
+def make_link(sim, batched, bandwidth_bps=8000.0, delay=1.0, limit=10):
+    link = Link(
+        sim,
+        "A->B",
+        bandwidth_bps,
+        delay,
+        DropTailQueue(limit=limit, name="q"),
+    )
+    sink = SinkNode(sim)
+    link.connect(sink)
+    if batched:
+        link.enable_batched_egress()
+    return link, sink
+
+
+def pkt(seqno, size=1000):
+    return data_packet(1, "S1", "K1", seqno, size=size)
+
+
+def run_scenario(batched, sends, limit=10):
+    """Drive ``sends`` = [(time, seqno, size), ...] through one link.
+
+    Returns (arrivals, drops, events_processed).
+    """
+    sim = Simulator()
+    link, sink = make_link(sim, batched, limit=limit)
+    for t, seqno, size in sends:
+        sim.schedule_at(t, link.send, pkt(seqno, size=size))
+    sim.run()
+    return sink.arrivals, link.queue.drops, sim.events_processed
+
+
+def random_sends(seed, n=200, horizon=30.0):
+    rng = random.Random(seed)
+    sends = []
+    for seqno in range(n):
+        sends.append((rng.uniform(0.0, horizon), seqno, rng.choice([40, 500, 1000, 1500])))
+    sends.sort()
+    return sends
+
+
+class TestEquivalence:
+    def test_single_uncontended_packet_bit_equal(self):
+        default, _, _ = run_scenario(False, [(0.25, 0, 1000)])
+        batched, _, _ = run_scenario(True, [(0.25, 0, 1000)])
+        assert batched == default  # exact float equality, incl. timestamp
+
+    def test_back_to_back_burst_identical(self):
+        sends = [(0.0, i, 1000) for i in range(5)]
+        default, ddrops, _ = run_scenario(False, sends)
+        batched, bdrops, _ = run_scenario(True, sends)
+        assert batched == default
+        assert bdrops == ddrops == 0
+
+    def test_overflow_drops_identical(self):
+        # 20 simultaneous arrivals into a 3-slot queue: same survivors.
+        sends = [(0.0, i, 1000) for i in range(20)]
+        default, ddrops, _ = run_scenario(False, sends, limit=3)
+        batched, bdrops, _ = run_scenario(True, sends, limit=3)
+        assert batched == default
+        assert bdrops == ddrops > 0
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_randomised_traffic_bit_equal(self, seed):
+        sends = random_sends(seed)
+        default, ddrops, _ = run_scenario(False, sends, limit=5)
+        batched, bdrops, _ = run_scenario(True, sends, limit=5)
+        assert batched == default
+        assert bdrops == ddrops
+
+    def test_tx_aligned_sends_hit_the_busy_boundary_exactly(self):
+        # Sends landing at exact multiples of the transmission time tie
+        # with the drain event at _busy_until.  A kick that trusts
+        # ``now >= _busy_until`` while a drain is pending double-books
+        # the service slot (two packets served in one tx window) —
+        # regression for exactly that.  tx = 1500*8/8e6 = 1.5 ms; sends
+        # every 0.5 ms land a packet on every busy boundary.
+        sends = [(i * 0.0005, i, 1500) for i in range(50)]
+        sim = Simulator()
+        link = Link(sim, "A->B", 8e6, 0.01, DropTailQueue(limit=20, name="q"))
+        sink = SinkNode(sim)
+        link.connect(sink)
+        for t, seqno, size in sends:
+            sim.schedule_at(t, link.send, pkt(seqno, size=size))
+        sim.run()
+        default = (sink.arrivals, link.queue.drops)
+
+        sim = Simulator()
+        link = Link(sim, "A->B", 8e6, 0.01, DropTailQueue(limit=20, name="q"))
+        link.enable_batched_egress()
+        sink = SinkNode(sim)
+        link.connect(sink)
+        for t, seqno, size in sends:
+            sim.schedule_at(t, link.send, pkt(seqno, size=size))
+        sim.run()
+        assert (sink.arrivals, link.queue.drops) == default
+
+    def test_uncontended_traffic_uses_fewer_events(self):
+        # Widely spaced packets: default = tx_done + deliver per packet,
+        # batched = deliver only.
+        sends = [(float(i * 10), i, 1000) for i in range(10)]
+        _, _, devents = run_scenario(False, sends)
+        _, _, bevents = run_scenario(True, sends)
+        assert bevents < devents
+
+    def test_contended_burst_never_uses_more_events(self):
+        sends = [(0.0, i, 1000) for i in range(10)]
+        _, _, devents = run_scenario(False, sends)
+        _, _, bevents = run_scenario(True, sends)
+        assert bevents <= devents
+
+
+class TestBusyProperty:
+    def test_busy_tracks_service_horizon(self):
+        sim = Simulator()
+        link, _ = make_link(sim, batched=True)
+        assert not link.busy
+        link.send(pkt(0))  # 1 s transmission
+        assert link.busy
+        sim.run(until=0.5)
+        assert link.busy
+        sim.run(until=1.5)
+        assert not link.busy
+
+
+class TestGuards:
+    def test_reorderer_refuses_batching(self):
+        sim = Simulator()
+        link, _ = make_link(sim, batched=False)
+        link.reorder = JitterReorderer(RngStream(1), max_jitter=0.01)
+        with pytest.raises(ConfigurationError):
+            link.enable_batched_egress()
+
+    def test_enable_is_idempotent(self):
+        sim = Simulator()
+        link, _ = make_link(sim, batched=True)
+        link.send(pkt(0))
+        link.enable_batched_egress()  # no reset of _busy_until
+        assert link.busy
+
+    def test_default_link_pickles_without_batch_state(self):
+        sim = Simulator()
+        link, _ = make_link(sim, batched=False)
+        state = link.__getstate__()
+        assert "_batch" not in state
+        assert "_busy_until" not in state
+
+    def test_batched_link_pickle_roundtrip(self):
+        sim = Simulator()
+        link, _ = make_link(sim, batched=True)
+        blob = pickle.dumps(link)
+        clone = pickle.loads(blob)
+        assert clone._batch is True
+        assert clone._busy_until == link._busy_until
+        assert clone._drain_pending is False

@@ -1,0 +1,119 @@
+"""The warm-start go/no-go cost model (warm_start_decision).
+
+The model's one job: predict the *sign* of the sweep-time saving from
+warm-starting, so harnesses can auto-skip the snapshot round-trip when
+it cannot pay for itself (table5's measured warm-pass parity).
+"""
+
+import pytest
+
+from repro.experiments.table5 import Table5Config, run_table5
+from repro.obs.manifest import RunManifest
+from repro.runner import (
+    PrefixSpec,
+    SnapshotStore,
+    SweepRunner,
+    WarmStartDecision,
+    warm_start_decision,
+)
+
+
+def _spec(tag):
+    # digest() depends only on the spec's content, so distinct args =
+    # distinct prefixes; no simulation runs in these tests.
+    return PrefixSpec(fn="repro.experiments.figure5:prefix_world", args=(tag,))
+
+
+def decide(cells, prefix_of, fraction, store):
+    return warm_start_decision(
+        cells, lambda c: _spec(prefix_of(c)), fraction, store, fingerprint="test"
+    )
+
+
+class TestDecision:
+    def test_unique_prefixes_never_win_on_first_pass(self, tmp_path):
+        # One cell per prefix: warm simulates each prefix exactly as
+        # often as cold would, plus pays capture + restore overhead.
+        store = SnapshotStore(tmp_path)
+        decision = decide(list(range(4)), lambda c: c, 0.5, store)
+        assert not decision.use_warm
+        assert decision.predicted_saving < 0
+        assert decision.missing == 4
+        assert "no predicted win" in decision.reason
+
+    def test_shared_prefix_with_meaningful_fraction_wins(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        decision = decide(list(range(10)), lambda c: "shared", 0.5, store)
+        assert decision.use_warm
+        assert decision.prefixes == 1
+        assert decision.predicted_saving > 0
+
+    def test_tiny_prefix_fraction_skips_even_when_shared(self, tmp_path):
+        # The table5 shape: restore overhead alone eats a ~2% prefix.
+        store = SnapshotStore(tmp_path)
+        decision = decide(list(range(20)), lambda c: c % 10, 0.025, store)
+        assert not decision.use_warm
+
+    def test_zero_fraction_and_empty_sweep_skip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert not decide(list(range(5)), lambda c: "p", 0.0, store).use_warm
+        assert not decide([], lambda c: "p", 0.5, store).use_warm
+
+    def test_stored_prefixes_tip_the_balance(self, tmp_path, monkeypatch):
+        # Same sweep, but every prefix already captured: no capture
+        # cost, so a fraction that loses on the first pass wins on
+        # replay.
+        store = SnapshotStore(tmp_path)
+        cells = list(range(3))  # one prefix each, fraction 0.5
+        first = decide(cells, lambda c: c, 0.5, store)
+        assert not first.use_warm
+        monkeypatch.setattr(store, "lookup_prefix", lambda spec, fp=None: "deadbeef")
+        replay = decide(cells, lambda c: c, 0.5, store)
+        assert replay.use_warm
+        assert replay.missing == 0
+
+    def test_decision_is_a_frozen_record(self, tmp_path):
+        decision = decide([1], lambda c: c, 0.5, SnapshotStore(tmp_path))
+        assert isinstance(decision, WarmStartDecision)
+        with pytest.raises(AttributeError):
+            decision.use_warm = True
+
+
+class TestHarnessIntegration:
+    def test_table5_auto_skips_and_records_reason(self, tmp_path):
+        # Default-shaped table5 grid (tiny prefix fraction): warm_start
+        # =True falls back to the cold path, the manifest records why,
+        # and no snapshots are captured.
+        config = Table5Config(
+            cases=(("reno", "rr"),), runs_per_case=2, sim_duration=20.0
+        )
+        store = SnapshotStore(tmp_path / "snaps")
+        manifest = RunManifest.begin("table5")
+        warm = run_table5(
+            config,
+            runner=SweepRunner(),
+            warm_start=True,
+            store=store,
+            manifest=manifest,
+        )
+        assert manifest.warm_start_skipped is not None
+        assert "no predicted win" in manifest.warm_start_skipped
+        assert store.prefix_captures == 0
+        cold = run_table5(config, runner=SweepRunner())
+        assert warm.rows == cold.rows
+
+    def test_force_bypasses_the_model(self, tmp_path):
+        config = Table5Config(
+            cases=(("reno", "rr"),), runs_per_case=2, sim_duration=20.0
+        )
+        store = SnapshotStore(tmp_path / "snaps")
+        manifest = RunManifest.begin("table5")
+        run_table5(
+            config,
+            runner=SweepRunner(),
+            warm_start="force",
+            store=store,
+            manifest=manifest,
+        )
+        assert manifest.warm_start_skipped is None
+        assert store.prefix_captures == 2
