@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 import tempfile
 import time
@@ -83,6 +85,14 @@ CHECK_THRESHOLDS = {
 #: is a coin flip on a noisy runner, best-of-3 tracks the machine's
 #: true ceiling.
 CHECK_MIN_REPEATS = 3
+
+#: Tolerated fractional events/sec drop for the manyflow WAN scene,
+#: per engine backend (the existing macro-gate threshold).
+MANYFLOW_THRESHOLD = 0.30
+
+#: The manyflow smoke scene: deliberately identical for ``--quick`` and
+#: full runs so CI smoke numbers gate against the committed baseline.
+MANYFLOW_SCENE = {"family": "wan", "n_routers": 40, "flows": 60, "duration": 2.0}
 
 
 def time_workload(fn, kwargs, repeats: int) -> dict:
@@ -331,6 +341,105 @@ def bench_delta() -> dict:
     return {"base_bytes": base.nbytes, "forks": forks}
 
 
+# Runs in a fresh interpreter so the engine backend is selected by the
+# environment (REPRO_PURE_PYTHON), not by whatever this process loaded.
+_MANYFLOW_PROBE = """
+import json, sys, time
+from repro.net.red import RedParams
+from repro.scenes import FlowPopulation, SceneSpec, WaxmanParams, build_scene
+from repro.sim.engine import CORE_BACKEND
+
+scene_args = json.loads(sys.argv[1])
+spec = SceneSpec(
+    family="wan",
+    topology=WaxmanParams(n_routers=scene_args["n_routers"], graph_seed=3),
+    flows=FlowPopulation(count=scene_args["flows"]),
+    red=RedParams(min_th=10.0, max_th=40.0, max_p=0.02, limit=120),
+    seed=11,
+    duration=scene_args["duration"],
+)
+scene = build_scene(spec)
+start = time.perf_counter()
+scene.run()
+elapsed = time.perf_counter() - start
+print(json.dumps({
+    "backend": CORE_BACKEND,
+    "events": scene.sim.events_processed,
+    "seconds": round(elapsed, 6),
+    "events_per_sec": round(scene.sim.events_processed / elapsed, 1),
+}))
+"""
+
+
+def bench_manyflow(quick: bool) -> dict:
+    """Events/sec on the mid-size WAN scene, one entry per engine backend.
+
+    The generated-scenes smoke cell: a seeded Waxman WAN with RED on
+    every core link and 60 long-lived flows (docs/SCENARIOS.md).  Each
+    backend runs in a subprocess — ``REPRO_PURE_PYTHON=1`` for the pure
+    interpreter, a clean environment for the compiled core — so one
+    refresh records both numbers and ``--check`` gates each against its
+    own committed figure.  If the compiled core is unavailable both
+    probes report ``python`` and the section simply carries one entry.
+    """
+    repeats = 1 if quick else 2
+    backends = {}
+    for env_value in (None, "1"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_PURE_PYTHON", None)
+        if env_value is not None:
+            env["REPRO_PURE_PYTHON"] = env_value
+        best = None
+        for _ in range(repeats):
+            out = subprocess.run(
+                [sys.executable, "-c", _MANYFLOW_PROBE, json.dumps(MANYFLOW_SCENE)],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            probe = json.loads(out.stdout)
+            if best is None or probe["events_per_sec"] > best["events_per_sec"]:
+                best = probe
+        backend = best.pop("backend")
+        backends[backend] = best
+        print(
+            f"  wan-scene [{backend:<8}] {best['seconds'] * 1000:8.2f} ms"
+            f"  {best['events_per_sec']:>12,.0f} ev/s"
+        )
+    return {"scene": dict(MANYFLOW_SCENE), "backends": backends}
+
+
+def check_manyflow_regression(fresh: dict, baseline_path: Path) -> int:
+    """Gate the manyflow WAN-scene events/sec per backend (>30% drop)."""
+    if not baseline_path.exists():
+        print(f"no committed baseline at {baseline_path}; skipping manyflow check")
+        return 0
+    baseline = json.loads(baseline_path.read_text()).get("manyflow")
+    if not baseline:
+        print("committed baseline has no manyflow section; skipping manyflow check")
+        return 0
+    if baseline.get("scene") != fresh.get("scene"):
+        print("manyflow scene sizing changed since the baseline; skipping the gate")
+        return 0
+    failures = 0
+    for backend, fresh_bench in fresh["backends"].items():
+        base_bench = baseline.get("backends", {}).get(backend)
+        if base_bench is None or not base_bench.get("events_per_sec"):
+            continue
+        delta = fresh_bench["events_per_sec"] / base_bench["events_per_sec"] - 1.0
+        verdict = "ok"
+        if delta < -MANYFLOW_THRESHOLD:
+            verdict = "REGRESSION"
+            failures += 1
+        print(
+            f"  wan-scene [{backend:<8}] baseline {base_bench['events_per_sec']:>12,.0f}"
+            f"  fresh {fresh_bench['events_per_sec']:>12,.0f}"
+            f"  ({delta:+.1%} vs -{MANYFLOW_THRESHOLD:.0%} allowed)  {verdict}"
+        )
+    if failures:
+        print(f"{failures} manyflow backend(s) regressed past the threshold")
+    return 1 if failures else 0
+
+
 def check_regression(fresh: dict, baseline_path: Path, max_regression: float) -> int:
     """Compare fresh events/sec against the committed baseline, one
     threshold per workload (:data:`CHECK_THRESHOLDS`)."""
@@ -433,9 +542,17 @@ def main(argv=None) -> int:
         warmstart = bench_warmstart(args.quick)
         print("delta snapshot sizes:")
         delta = bench_delta()
+        print("manyflow WAN scene (both engine backends):")
+        manyflow = bench_manyflow(args.quick)
         (out_dir / EXPERIMENTS_BASELINE).write_text(
             json.dumps(
-                {**meta, "campaign": campaign, "warmstart": warmstart, "delta": delta},
+                {
+                    **meta,
+                    "campaign": campaign,
+                    "warmstart": warmstart,
+                    "delta": delta,
+                    "manyflow": manyflow,
+                },
                 indent=2,
             )
             + "\n"
@@ -444,9 +561,14 @@ def main(argv=None) -> int:
 
     if args.check:
         print("regression check:")
-        return check_regression(
+        failed = check_regression(
             benches, REPO_ROOT / ENGINE_BASELINE, args.max_regression
         )
+        if not args.micro_only:
+            failed |= check_manyflow_regression(
+                manyflow, REPO_ROOT / EXPERIMENTS_BASELINE
+            )
+        return failed
     return 0
 
 

@@ -1,6 +1,27 @@
 """Application layer: traffic sources driving the TCP agents."""
 
 from repro.app.ftp import FtpSource
-from repro.app.workload import OnOffSource, PoissonTransfers, TransferRecord
+from repro.app.workload import (
+    FixedSize,
+    JitteredArrivals,
+    LognormalSizes,
+    OnOffSource,
+    ParetoSizes,
+    PoissonArrivals,
+    PoissonTransfers,
+    StaggeredArrivals,
+    TransferRecord,
+)
 
-__all__ = ["FtpSource", "PoissonTransfers", "OnOffSource", "TransferRecord"]
+__all__ = [
+    "FtpSource",
+    "PoissonTransfers",
+    "OnOffSource",
+    "TransferRecord",
+    "FixedSize",
+    "ParetoSizes",
+    "LognormalSizes",
+    "PoissonArrivals",
+    "StaggeredArrivals",
+    "JitteredArrivals",
+]

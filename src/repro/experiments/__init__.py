@@ -16,6 +16,7 @@ from repro.experiments.common import ScenarioResult, build_dumbbell_scenario
 from repro.experiments.figure5 import Figure5Config, run_figure5
 from repro.experiments.figure6 import Figure6Config, run_figure6
 from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.experiments.manyflow import ManyflowConfig, run_manyflow
 from repro.experiments.table5 import Table5Config, run_table5
 from repro.experiments.ackloss import AckLossConfig, run_ackloss
 from repro.experiments.ablation import AblationConfig, run_ablation
@@ -36,6 +37,8 @@ __all__ = [
     "run_figure6",
     "Figure7Config",
     "run_figure7",
+    "ManyflowConfig",
+    "run_manyflow",
     "Table5Config",
     "run_table5",
     "AckLossConfig",

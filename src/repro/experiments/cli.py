@@ -44,6 +44,7 @@ from repro.experiments import (
     figure5,
     figure6,
     figure7,
+    manyflow,
     table5,
     vegas_decomposition,
 )
@@ -146,6 +147,20 @@ def _run_vegas(args, runner, manifest=None):
     ), None, None
 
 
+def _run_manyflow(args, runner, manifest=None):
+    config = manyflow.ManyflowConfig()
+    if getattr(args, "scene", None):
+        config.family = args.scene
+    if args.quick:
+        config.flow_counts = (25,)
+        config.max_ps = (0.02,)
+        config.duration = 10.0
+    result = manyflow.run_manyflow(
+        config, runner=runner, warm_start=_warm(args), manifest=manifest
+    )
+    return manyflow.format_report(result), result, "manyflow"
+
+
 def _run_chaos(args, runner, manifest=None):
     config = chaos.ChaosConfig()
     if args.quick:
@@ -178,6 +193,7 @@ EXPERIMENTS = {
     "vegas": _run_vegas,
     "burst": _run_burst,
     "chaos": _run_chaos,
+    "manyflow": _run_manyflow,
 }
 
 #: One-line descriptions for ``--list``.
@@ -191,6 +207,7 @@ DESCRIPTIONS = {
     "vegas": "Vegas-decomposition extension study",
     "burst": "Gilbert-Elliott burst-channel extension study",
     "chaos": "fault-injection campaigns with invariants + watchdog",
+    "manyflow": "generated scenes swept against the mean-field RED oracle",
 }
 
 #: Long-form spellings accepted on the command line.
@@ -206,6 +223,10 @@ def format_listing() -> str:
     alias_bits = ", ".join(f"{a}={t}" for a, t in sorted(ALIASES.items()))
     lines.append(f"  {'all':<{width}}  run every experiment above")
     lines.append(f"aliases: {alias_bits}")
+    from repro.scenes import describe_families
+
+    lines.append("scene families (manyflow --scene <family>):")
+    lines.append(describe_families())
     lines.append("snapshot tools: python -m repro.experiments snapshot --help")
     lines.append("storage fsck:   python -m repro.experiments fsck --help")
     return "\n".join(lines)
@@ -488,9 +509,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--warm-start",
         action="store_true",
-        help="fig5/fig6/fig7/table5/ackloss: fork each grid from frozen"
+        help="fig5/fig6/fig7/table5/ackloss/manyflow: fork each grid from frozen"
         " warm-up prefixes instead of re-simulating them (bit-identical"
         " rows; see docs/WARMSTART.md)",
+    )
+    parser.add_argument(
+        "--scene",
+        metavar="FAMILY",
+        default=None,
+        help="manyflow only: topology family to sweep (dumbbell,"
+        " parkinglot, fattree, wan; see --list)",
     )
     parser.add_argument(
         "--seeds",

@@ -59,12 +59,28 @@ def burstchannel_rows(result) -> List[Dict[str, object]]:
     return [_strip(asdict(row)) for row in result.rows]
 
 
+def manyflow_rows(result) -> List[Dict[str, object]]:
+    rows = []
+    for cell in result.cells:
+        row = _strip(asdict(cell))
+        if cell.verdict is not None:
+            row.update(
+                oracle_passed=cell.verdict.passed,
+                predicted_queue=cell.verdict.predicted_queue,
+                predicted_loss=cell.verdict.predicted_loss,
+                regime=cell.verdict.regime,
+            )
+        rows.append(row)
+    return rows
+
+
 _CONVERTERS = {
     "fig5": figure5_rows,
     "fig6": figure6_rows,
     "fig7": figure7_rows,
     "table5": table5_rows,
     "burst": burstchannel_rows,
+    "manyflow": manyflow_rows,
 }
 
 

@@ -1,7 +1,7 @@
 """Measurement: per-flow statistics, effective throughput, recovery
 episode analysis, sequence-number time series and fairness indices."""
 
-from repro.metrics.flowstats import FlowStats, RecoveryEpisode
+from repro.metrics.flowstats import FlowStats, LeanFlowStats, RecoveryEpisode
 from repro.metrics.throughput import (
     effective_throughput_bps,
     goodput_bps,
@@ -36,6 +36,7 @@ __all__ = [
     "loss_synchronization_index",
     "mean_flows_per_event",
     "FlowStats",
+    "LeanFlowStats",
     "RecoveryEpisode",
     "goodput_bps",
     "effective_throughput_bps",

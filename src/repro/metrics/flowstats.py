@@ -146,3 +146,55 @@ class FlowStats(SenderObserver):
         """Observed network drops over packets sent (0 when idle)."""
         sent = self.packets_sent()
         return self.drops_observed / sent if sent else 0.0
+
+
+@dataclass
+class LeanFlowStats(SenderObserver):
+    """Scalar-only per-flow statistics for thousand-flow scenes.
+
+    :class:`FlowStats` keeps full time series (and its drop watcher
+    subscribes every flow to the trace bus, an O(flows) cost per drop)
+    — perfect for the paper's 10-flow plots, ruinous at scene scale.
+    This observer keeps the cheap trace features that still identify a
+    flow's behavior (final ACK, send/retransmit/timeout counts, last
+    cwnd, recovery entries) in O(1) memory per flow; scene-wide drop
+    accounting comes from the bottleneck queue counters instead of
+    per-flow subscriptions.
+    """
+
+    flow_id: int = 0
+    start_time: Optional[float] = None
+    complete_time: Optional[float] = None
+    final_ack: int = 0
+    packets_sent: int = 0
+    retransmits: int = 0
+    dupacks_seen: int = 0
+    timeouts: int = 0
+    recoveries: int = 0
+    last_cwnd: float = 0.0
+
+    def on_start(self, t: float, sender: TcpSender) -> None:
+        self.start_time = t
+
+    def on_send(self, t: float, sender: TcpSender, seqno: int, retransmit: bool) -> None:
+        self.packets_sent += 1
+        if retransmit:
+            self.retransmits += 1
+
+    def on_ack(self, t: float, sender: TcpSender, ackno: int, duplicate: bool) -> None:
+        if duplicate:
+            self.dupacks_seen += 1
+        elif ackno > self.final_ack:
+            self.final_ack = ackno
+
+    def on_cwnd(self, t: float, sender: TcpSender, cwnd: float) -> None:
+        self.last_cwnd = cwnd
+
+    def on_timeout(self, t: float, sender: TcpSender) -> None:
+        self.timeouts += 1
+
+    def on_recovery_enter(self, t: float, sender: TcpSender) -> None:
+        self.recoveries += 1
+
+    def on_complete(self, t: float, sender: TcpSender) -> None:
+        self.complete_time = t

@@ -7,6 +7,15 @@ from repro.models.mathis import (
 )
 from repro.models.padhye import padhye_bandwidth_bps
 from repro.models.fit import estimate_mathis_c, fit_quality, relative_errors
+from repro.models.meanfield import (
+    MeanFieldParams,
+    MeanFieldPrediction,
+    OracleVerdict,
+    effective_drop_probability,
+    meanfield_fixed_point,
+    oracle_verdict,
+    red_drop_curve,
+)
 
 __all__ = [
     "MATHIS_C_ACK_EVERY_PACKET",
@@ -16,4 +25,11 @@ __all__ = [
     "estimate_mathis_c",
     "fit_quality",
     "relative_errors",
+    "MeanFieldParams",
+    "MeanFieldPrediction",
+    "OracleVerdict",
+    "effective_drop_probability",
+    "meanfield_fixed_point",
+    "oracle_verdict",
+    "red_drop_curve",
 ]

@@ -117,12 +117,32 @@ class Network:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def compute_routes(self) -> None:
+    def compute_routes(self, compact: bool = False) -> None:
         """Fill every node's forwarding table with next hops along
-        delay-weighted shortest paths (Dijkstra from every source)."""
+        delay-weighted shortest paths (Dijkstra from every source).
+
+        With ``compact=True`` (the big-scene path used by
+        :mod:`repro.scenes`), a node with exactly one outgoing link gets
+        a single ``"*"`` default route instead of an explicit entry per
+        destination — on a thousand-pair dumbbell that turns ~2000
+        Dijkstra passes and ~4M route entries into 2 passes and 2 full
+        tables.  Forwarding falls back to ``"*"`` on a table miss (see
+        :meth:`~repro.net.node.Node._forward`).  The shortcut is only
+        exact when every destination is reachable, so it applies only
+        when the graph is strongly connected; otherwise this silently
+        falls back to full tables (where unreachable pairs get no route
+        and raise on use, as before).
+        """
+        compact = compact and self._strongly_connected()
         for origin in self.nodes:
-            dist, first_link = self._dijkstra(origin)
             node = self.nodes[origin]
+            if compact:
+                out = self._adj[origin]
+                if len(out) == 1:
+                    node.routes.clear()
+                    node.routes["*"] = out[0][1]
+                    continue
+            dist, first_link = self._dijkstra(origin)
             node.routes.clear()
             for dst, link in first_link.items():
                 if dst != origin:
@@ -131,6 +151,30 @@ class Network:
             # is reachable in the graph; unreachable pairs simply get no
             # route and raise on use.
             del dist
+
+    def _strongly_connected(self) -> bool:
+        """True when every node reaches every other node (one forward
+        and one reverse sweep from an arbitrary origin)."""
+        if not self.nodes:
+            return False
+        reverse: Dict[str, List[str]] = {name: [] for name in self.nodes}
+        for src, out in self._adj.items():
+            for dst, _link in out:
+                reverse[dst].append(src)
+        origin = next(iter(self.nodes))
+        forward_adj = {src: [dst for dst, _ in out] for src, out in self._adj.items()}
+        for adjacency in (forward_adj, reverse):
+            seen = {origin}
+            frontier = [origin]
+            while frontier:
+                u = frontier.pop()
+                for v in adjacency[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        frontier.append(v)
+            if len(seen) != len(self.nodes):
+                return False
+        return True
 
     def _dijkstra(self, origin: str) -> Tuple[Dict[str, float], Dict[str, Link]]:
         dist: Dict[str, float] = {origin: 0.0}

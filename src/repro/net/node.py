@@ -62,7 +62,12 @@ class Node:
     def _forward(self, packet: Packet) -> None:
         link = self.routes.get(packet.dst)
         if link is None:
-            raise TopologyError(f"{self.name}: no route to {packet.dst}")
+            # Compact tables (Network.compute_routes(compact=True)) give
+            # single-homed nodes one "*" default route instead of an
+            # entry per destination.
+            link = self.routes.get("*")
+            if link is None:
+                raise TopologyError(f"{self.name}: no route to {packet.dst}")
         link.send(packet)
 
     def send(self, packet: Packet) -> None:
@@ -118,5 +123,7 @@ class Router(Node):
         self.packets_received += 1
         link = self.routes.get(packet.dst)  # _forward inlined: hot
         if link is None:
-            raise TopologyError(f"{self.name}: no route to {packet.dst}")
+            link = self.routes.get("*")  # compact-table default route
+            if link is None:
+                raise TopologyError(f"{self.name}: no route to {packet.dst}")
         link.send(packet)

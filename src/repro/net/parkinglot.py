@@ -59,6 +59,7 @@ class ParkingLot:
         params: Optional[ParkingLotParams] = None,
         bottleneck_queue_factory: Optional[Callable[[str], PacketQueue]] = None,
         trace: Optional[TraceBus] = None,
+        compact_routes: bool = False,
     ):
         self.params = params or ParkingLotParams()
         self.params.validate()
@@ -103,7 +104,7 @@ class ParkingLot:
             dst = attach_host(f"X{hop}_dst", self.routers[hop])
             self.cross_pairs.append((src, dst))
 
-        self.net.compute_routes()
+        self.net.compute_routes(compact=compact_routes)
         self.net.validate()
 
     def cross_pair(self, hop: int) -> Tuple[Host, Host]:

@@ -159,7 +159,14 @@ class RedQueue(PacketQueue):
             avg = self.avg * (1 - w) ** m
             avg = (1 - w) * avg  # the arriving packet's update (q == 0)
         self.avg = avg
-        self._idle_since = None
+        # The idle epoch must survive drops: a packet refused at an
+        # empty queue leaves the link idle, and wiping the epoch here
+        # would disable the idle decay exactly when overload makes
+        # every arrival a forced drop (avg then never recovers — a
+        # lockout the many-flow scenes hit).  Advance it instead (the
+        # decay above consumed the idle span so far); accepts make the
+        # queue busy and ``dequeue`` restarts the clock on empty.
+        self._idle_since = self._sim.now if q == 0 else None
         if q >= self.limit:
             self.overflow_drops += 1
             self._count = 0

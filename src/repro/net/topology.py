@@ -100,6 +100,7 @@ class Dumbbell:
         forward_loss: Optional[LossModule] = None,
         reverse_loss: Optional[LossModule] = None,
         trace: Optional[TraceBus] = None,
+        compact_routes: bool = False,
     ):
         self.params = params or DumbbellParams()
         self.params.validate()
@@ -152,7 +153,10 @@ class Dumbbell:
             loss_ab=forward_loss,
             loss_ba=reverse_loss,
         )
-        self.net.compute_routes()
+        # Compact tables make thousand-pair dumbbells tractable (scene
+        # builders pass True; the paper harnesses keep full tables so
+        # their golden digests are untouched).
+        self.net.compute_routes(compact=compact_routes)
         self.net.validate()
 
     @property

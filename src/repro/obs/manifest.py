@@ -107,6 +107,12 @@ class RunManifest:
     #: :func:`~repro.runner.warmstart.warm_start_decision` cost model;
     #: holds the human-readable reason.  None = warm start not skipped.
     warm_start_skipped: Optional[str] = None
+    #: Mean-field oracle verdict for harnesses that check measurements
+    #: against an analytic model (``manyflow``): one flat dict per
+    #: checked cell — ``{"label": ..., "passed": bool, "regime": ...,
+    #: "measured_queue": ..., "predicted_queue": ..., "measured_loss":
+    #: ..., "predicted_loss": ...}``.  None = the run had no oracle.
+    oracle: Optional[List[Dict[str, Any]]] = None
     tasks: List[Dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -156,6 +162,17 @@ class RunManifest:
         :class:`~repro.runner.warmstart.SnapshotStore`."""
         self.warm_prefix_hits = store.prefix_hits
         self.warm_prefix_captures = store.prefix_captures
+
+    def note_oracle(self, label: str, verdict: Any) -> None:
+        """Append one cell's analytic-oracle verdict (an
+        :class:`~repro.models.meanfield.OracleVerdict`) so the manifest
+        records whether the run matched the model, not just that it
+        finished."""
+        entry = {"label": label}
+        entry.update(dataclasses.asdict(verdict))
+        if self.oracle is None:
+            self.oracle = []
+        self.oracle.append(entry)
 
     def note_warm_start_skipped(self, reason: str) -> None:
         """Record that a requested warm start was auto-skipped (the

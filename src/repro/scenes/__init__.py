@@ -1,0 +1,58 @@
+"""Declarative, seeded, content-addressable scenario generation.
+
+``repro.scenes`` grows the harness beyond the paper's three-pair
+dumbbell: a :class:`SceneSpec` names a topology family (generalized
+dumbbell, parking lot, k-ary fat-tree, seeded Waxman WAN), a flow
+population with heavy-tailed sizes, an arrival process and a RED
+configuration — and :func:`build_scene` turns it into a ready-to-run
+world, bit-identically for equal spec digests.  The ``manyflow``
+experiment sweeps these scenes and checks the measured RED queue
+against the mean-field fixed point in :mod:`repro.models.meanfield`.
+"""
+
+from repro.scenes.build import Scene, build_scene
+from repro.scenes.registry import (
+    FAMILIES,
+    SceneFamily,
+    default_topology,
+    describe_families,
+    family,
+)
+from repro.scenes.spec import (
+    ARRIVAL_PROCESSES,
+    SIZE_DISTS,
+    ArrivalSpec,
+    FlowPopulation,
+    SceneSpec,
+)
+from repro.scenes.topologies import (
+    BuiltTopology,
+    FatTreeParams,
+    WaxmanParams,
+    build_dumbbell,
+    build_fattree,
+    build_parkinglot,
+    build_wan,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "FAMILIES",
+    "SIZE_DISTS",
+    "ArrivalSpec",
+    "BuiltTopology",
+    "FatTreeParams",
+    "FlowPopulation",
+    "Scene",
+    "SceneFamily",
+    "SceneSpec",
+    "WaxmanParams",
+    "build_dumbbell",
+    "build_fattree",
+    "build_parkinglot",
+    "build_scene",
+    "build_wan",
+    "default_topology",
+    "describe_families",
+    "family",
+]

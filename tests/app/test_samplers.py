@@ -1,0 +1,98 @@
+"""Named size/arrival samplers: seeded, picklable, validated.
+
+These are the callables :mod:`repro.scenes` stores inside SceneSpecs;
+they must survive pickling (worker dispatch, snapshots) and reproduce
+exactly from an equal RngStream.
+"""
+
+import pickle
+
+import pytest
+
+from repro.app.workload import (
+    FixedSize,
+    JitteredArrivals,
+    LognormalSizes,
+    ParetoSizes,
+    PoissonArrivals,
+    StaggeredArrivals,
+)
+from repro.errors import ConfigurationError
+from repro.sim.rng import RngStream
+
+
+def test_fixed_size():
+    assert FixedSize(10)(RngStream(1)) == 10
+    assert FixedSize()(RngStream(1)) is None  # infinite backlog
+    with pytest.raises(ConfigurationError):
+        FixedSize(0)
+
+
+def test_pareto_sizes_floor_and_tail():
+    sampler = ParetoSizes(mean_packets=100.0, shape=1.5, min_packets=2)
+    rng = RngStream(3, "sizes")
+    draws = [sampler(rng) for _ in range(4000)]
+    assert min(draws) >= 2
+    mean = sum(draws) / len(draws)
+    assert 50 < mean < 400  # heavy tail: generous band around the mean
+    assert max(draws) > 500  # ... and the tail actually shows up
+
+
+def test_lognormal_sizes_mean():
+    sampler = LognormalSizes(mean_packets=80.0, sigma=1.0)
+    rng = RngStream(4, "sizes")
+    draws = [sampler(rng) for _ in range(4000)]
+    mean = sum(draws) / len(draws)
+    assert 60 < mean < 100
+    assert min(draws) >= 1
+
+
+def test_poisson_arrivals_monotone():
+    times = PoissonArrivals(rate=10.0)(RngStream(5, "arr"), 50)
+    assert len(times) == 50
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+    assert 0.05 < times[-1] / 50 < 0.2  # mean gap near 1/rate
+
+
+def test_staggered_and_jittered():
+    assert StaggeredArrivals(0.5)(RngStream(1), 4) == [0.0, 0.5, 1.0, 1.5]
+    jittered = JitteredArrivals(0.3)(RngStream(2, "j"), 100)
+    assert all(0.0 <= t <= 0.3 for t in jittered)
+    assert JitteredArrivals(0.0)(RngStream(2), 3) == [0.0, 0.0, 0.0]
+
+
+@pytest.mark.parametrize(
+    "sampler",
+    [FixedSize(7), ParetoSizes(50.0), LognormalSizes(50.0)],
+    ids=lambda s: type(s).__name__,
+)
+def test_size_samplers_pickle_and_reproduce(sampler):
+    clone = pickle.loads(pickle.dumps(sampler))
+    a, b = RngStream(7, "x"), RngStream(7, "x")
+    assert [sampler(a) for _ in range(20)] == [clone(b) for _ in range(20)]
+
+
+@pytest.mark.parametrize(
+    "process",
+    [PoissonArrivals(5.0), StaggeredArrivals(0.1), JitteredArrivals(0.2)],
+    ids=lambda s: type(s).__name__,
+)
+def test_arrival_processes_pickle_and_reproduce(process):
+    clone = pickle.loads(pickle.dumps(process))
+    assert process(RngStream(7, "x"), 20) == clone(RngStream(7, "x"), 20)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ParetoSizes(shape=1.0)
+    with pytest.raises(ConfigurationError):
+        ParetoSizes(mean_packets=0.5)
+    with pytest.raises(ConfigurationError):
+        LognormalSizes(sigma=0.0)
+    with pytest.raises(ConfigurationError):
+        PoissonArrivals(rate=0.0)
+    with pytest.raises(ConfigurationError):
+        StaggeredArrivals(gap=-1.0)
+    with pytest.raises(ConfigurationError):
+        JitteredArrivals(window=-0.1)

@@ -1,0 +1,148 @@
+"""The mean-field RED fixed point and its oracle verdict."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.meanfield import (
+    MeanFieldParams,
+    effective_drop_probability,
+    meanfield_fixed_point,
+    oracle_verdict,
+    red_drop_curve,
+)
+from repro.net.red import RedParams
+
+RED = RedParams(min_th=10.0, max_th=40.0, max_p=0.02, limit=120)
+
+
+def _params(**overrides):
+    defaults = dict(
+        n_flows=50,
+        bandwidth_bps=50 * 800_000.0,
+        base_rtt=0.104,
+        red=RED,
+        max_window=64.0,
+    )
+    defaults.update(overrides)
+    return MeanFieldParams(**defaults)
+
+
+def test_red_drop_curve_shape():
+    assert red_drop_curve(5.0, RED) == 0.0
+    assert red_drop_curve(10.0, RED) == 0.0
+    mid = red_drop_curve(25.0, RED)
+    assert 0.0 < mid < RED.max_p
+    assert red_drop_curve(40.0, RED) == 1.0  # non-gentle cliff
+
+
+def test_gentle_ramp_is_continuous():
+    gentle = RedParams(min_th=10.0, max_th=40.0, max_p=0.02, limit=120, gentle=True)
+    just_below = red_drop_curve(40.0 - 1e-9, gentle)
+    at_cliff = red_drop_curve(40.0, gentle)
+    assert at_cliff == pytest.approx(gentle.max_p, abs=1e-6)
+    assert just_below == pytest.approx(at_cliff, abs=1e-6)
+    assert red_drop_curve(60.0, gentle) == pytest.approx(0.51, abs=0.01)
+    assert red_drop_curve(80.0, gentle) == 1.0
+
+
+def test_uniformization_roughly_doubles_small_probabilities():
+    assert effective_drop_probability(25.0, RED) == pytest.approx(
+        2 * red_drop_curve(25.0, RED), rel=0.02
+    )
+    # ... and saturates at 1.
+    assert effective_drop_probability(100.0, RED) == 1.0
+
+
+def test_early_drop_fixed_point_balances_demand():
+    params = _params()
+    pred = meanfield_fixed_point(params)
+    assert pred.regime == "early-drop"
+    assert RED.min_th < pred.queue_pkts < RED.max_th
+    # At the fixed point the aggregate demand fills the link.
+    assert pred.utilization == pytest.approx(1.0, abs=1e-6)
+    # Balance: N * W / RTT == capacity (packets/s).
+    capacity_pps = params.bandwidth_bps / (8.0 * params.mss_bytes)
+    demand = params.n_flows * pred.per_flow_window / pred.rtt
+    assert demand == pytest.approx(capacity_pps, rel=1e-6)
+
+
+def test_window_limited_regime():
+    # Few flows on a fat link: receiver window caps demand below C.
+    pred = meanfield_fixed_point(
+        _params(n_flows=2, bandwidth_bps=100_000_000.0, max_window=32.0)
+    )
+    assert pred.regime == "window-limited"
+    assert pred.loss_prob == 0.0
+    assert pred.per_flow_window == pytest.approx(32.0)
+    assert pred.utilization < 0.1
+
+
+def test_forced_regime_under_overload():
+    # Many flows, tiny per-flow share: even max_p cannot tame demand.
+    pred = meanfield_fixed_point(
+        _params(n_flows=1000, bandwidth_bps=10 * 800_000.0)
+    )
+    assert pred.regime == "forced"
+    assert pred.queue_pkts == pytest.approx(RED.max_th)
+    assert pred.loss_prob > 0.05
+    assert pred.utilization == 1.0
+
+
+def test_corner_regime_flagged_on_steep_ramps():
+    # max_p far above the required drop rate parks the fixed point in
+    # the bottom of the ramp, where the loop oscillates.
+    steep = RedParams(min_th=10.0, max_th=40.0, max_p=0.1, limit=120)
+    pred = meanfield_fixed_point(_params(red=steep))
+    assert pred.regime == "early-drop-corner"
+    assert (pred.queue_pkts - 10.0) / 30.0 < 0.15
+    # The gentler default stays a plain early-drop fixed point.
+    assert meanfield_fixed_point(_params()).regime == "early-drop"
+
+
+def test_corner_verdict_is_one_sided():
+    steep = RedParams(min_th=10.0, max_th=40.0, max_p=0.1, limit=120)
+    pred = meanfield_fixed_point(_params(red=steep))
+    # Heavy undershoot (the oscillatory signature) still passes...
+    low = oracle_verdict(pred, pred.queue_pkts * 0.4, pred.loss_prob)
+    assert low.passed and low.queue_ok
+    # ... but overshooting the band fails, corner or not.
+    high = oracle_verdict(pred, pred.queue_pkts * 2.0 + 10.0, pred.loss_prob)
+    assert not high.queue_ok
+
+
+def test_more_flows_push_the_queue_up():
+    qs = [
+        meanfield_fixed_point(_params(n_flows=n, bandwidth_bps=40_000_000.0)).queue_pkts
+        for n in (25, 50, 100)
+    ]
+    assert qs[0] < qs[1] < qs[2]
+
+
+def test_validation_rejects_nonsense():
+    with pytest.raises(ConfigurationError):
+        meanfield_fixed_point(_params(n_flows=0))
+    with pytest.raises(ConfigurationError):
+        meanfield_fixed_point(_params(bandwidth_bps=0.0))
+    with pytest.raises(ConfigurationError):
+        meanfield_fixed_point(_params(base_rtt=0.0))
+
+
+def test_oracle_verdict_tolerances():
+    pred = meanfield_fixed_point(_params())
+    exact = oracle_verdict(pred, pred.queue_pkts, pred.loss_prob)
+    assert exact.passed and exact.queue_ok and exact.loss_ok
+    # Inside the relative band.
+    near = oracle_verdict(pred, pred.queue_pkts * 1.3, pred.loss_prob * 1.4)
+    assert near.passed
+    # Far outside both bands.
+    far = oracle_verdict(pred, pred.queue_pkts * 3.0, pred.loss_prob * 5.0 + 0.05)
+    assert not far.passed and not far.queue_ok and not far.loss_ok
+    assert "FAIL" in far.format()
+    assert "PASS" in exact.format()
+
+
+def test_oracle_verdict_absolute_floors():
+    pred = meanfield_fixed_point(_params())
+    # Tiny absolute deviations pass even when relatively large.
+    verdict = oracle_verdict(pred, pred.queue_pkts + 3.9, pred.loss_prob + 0.009)
+    assert verdict.passed

@@ -1,0 +1,66 @@
+"""Compact routing: degree-1 nodes get a single ``"*"`` default route."""
+
+from repro.net.network import Network
+from repro.net.node import Agent
+from repro.net.packet import data_packet
+
+
+class RecordingAgent(Agent):
+    def __init__(self, flow_id):
+        super().__init__(flow_id)
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def linear(sim, n_routers=2):
+    """A - R0 - ... - B with duplex links; hosts have degree 1."""
+    net = Network(sim)
+    net.add_host("A")
+    for i in range(n_routers):
+        net.add_router(f"R{i}")
+    net.add_host("B")
+    names = ["A"] + [f"R{i}" for i in range(n_routers)] + ["B"]
+    for a, b in zip(names, names[1:]):
+        net.add_duplex_link(a, b, 1e6, 0.001)
+    return net
+
+
+def test_compact_gives_degree_one_nodes_a_default_route(sim):
+    net = linear(sim)
+    net.compute_routes(compact=True)
+    assert set(net.nodes["A"].routes) == {"*"}
+    assert set(net.nodes["B"].routes) == {"*"}
+    # Interior routers keep explicit per-destination tables.
+    assert "*" not in net.nodes["R0"].routes
+    assert "B" in net.nodes["R0"].routes
+
+
+def test_compact_routes_still_deliver(sim):
+    net = linear(sim, n_routers=3)
+    net.compute_routes(compact=True)
+    agent = RecordingAgent(7)
+    net.nodes["B"].register(agent)
+    net.nodes["A"].send(data_packet(7, "A", "B", 3))
+    sim.run()
+    assert [p.seqno for p in agent.received] == [3]
+
+
+def test_default_mode_has_no_star_routes(sim):
+    net = linear(sim)
+    net.compute_routes()
+    assert "*" not in net.nodes["A"].routes
+    assert "B" in net.nodes["A"].routes
+
+
+def test_compact_falls_back_when_not_strongly_connected(sim):
+    # One-way attachment: nothing routes back to LONELY, so the graph
+    # is not strongly connected and compact must silently fall back to
+    # full per-destination Dijkstra tables everywhere.
+    net = linear(sim)
+    net.add_router("LONELY")
+    net.add_link("LONELY", "A", 1e6, 0.001)
+    net.compute_routes(compact=True)
+    assert "*" not in net.nodes["A"].routes
+    assert "B" in net.nodes["A"].routes

@@ -1,0 +1,63 @@
+"""Regression: the RED idle epoch must survive drops at an empty queue.
+
+An overloaded many-flow scene can push ``avg`` past the forced-drop
+threshold and then go idle: every subsequent arrival finds an empty
+queue and is force-dropped.  Before the fix, the drop wiped the idle
+epoch, disabling the idle decay exactly when it was the only way for
+``avg`` to recover — a permanent lockout.  The epoch must instead
+advance to the drop time (the decay so far has been consumed) so the
+next arrival only decays over the interval since the drop.
+"""
+
+import pytest
+
+from repro.net.packet import data_packet
+from repro.net.red import RedParams, RedQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+
+def _queue(sim):
+    params = RedParams(
+        min_th=5.0, max_th=15.0, max_p=0.1, limit=50, mean_pkt_time=0.001
+    )
+    return RedQueue(sim, params, RngStream(1, "red"))
+
+
+def test_forced_drops_at_empty_queue_do_not_lock_out():
+    sim = Simulator()
+    queue = _queue(sim)
+    queue.avg = 40.0  # deep in the forced-drop region, queue empty
+    outcomes = []
+
+    def offer(seq):
+        outcomes.append(queue.enqueue(data_packet(1, "S1", "K1", seq)))
+        while queue.dequeue() is not None:
+            pass  # drain immediately so the link goes idle again
+
+    for i in range(30):
+        sim.schedule_at(0.1 * (i + 1), offer, i)
+    sim.run()
+
+    # ~100 mean packet times of idle decay per gap bring avg back below
+    # min_th; later arrivals are accepted again.  (With the epoch wiped
+    # on drop, avg would still be ~37 here and every offer refused.)
+    assert queue.avg < queue.params.min_th
+    assert outcomes[-1] is True
+    assert any(outcomes)
+
+
+def test_idle_epoch_advances_to_the_drop_time():
+    """Each drop consumes the idle span so far — no double decay."""
+    sim = Simulator()
+    queue = _queue(sim)
+    w = queue.params.weight
+    queue.avg = 40.0
+    sim.schedule_at(0.05, queue.enqueue, data_packet(1, "S1", "K1", 0))
+    sim.schedule_at(0.08, queue.enqueue, data_packet(1, "S1", "K1", 1))
+    sim.run()
+
+    expected = 40.0 * (1 - w) ** 50 * (1 - w)  # 50 idle slots, then the arrival
+    expected *= (1 - w) ** 30 * (1 - w)  # only the 30 slots since the drop
+    assert queue.avg == pytest.approx(expected, rel=1e-12)
+    assert queue.forced_drops == 2 and len(queue) == 0

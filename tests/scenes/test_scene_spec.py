@@ -1,0 +1,89 @@
+"""SceneSpec: validation, canonical digests, JSON round trips."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.red import RedParams
+from repro.net.topology import DumbbellParams
+from repro.scenes import (
+    ArrivalSpec,
+    FlowPopulation,
+    SceneSpec,
+    WaxmanParams,
+    default_topology,
+    family,
+)
+
+
+def test_default_spec_validates():
+    SceneSpec().validate()
+
+
+def test_digest_is_stable_across_instances():
+    a = SceneSpec(flows=FlowPopulation(count=4), seed=3)
+    b = SceneSpec(flows=FlowPopulation(count=4), seed=3)
+    assert a.digest() == b.digest()
+
+
+def test_digest_depends_on_every_field():
+    base = SceneSpec()
+    assert SceneSpec(seed=2).digest() != base.digest()
+    assert SceneSpec(duration=11.0).digest() != base.digest()
+    assert SceneSpec(flows=FlowPopulation(count=11)).digest() != base.digest()
+    assert SceneSpec(red=RedParams()).digest() != base.digest()
+    assert (
+        SceneSpec(topology=DumbbellParams(n_pairs=7)).digest() != base.digest()
+    )
+
+
+def test_json_round_trip_preserves_digest():
+    spec = SceneSpec(
+        family="wan",
+        topology=WaxmanParams(n_routers=12, graph_seed=5),
+        flows=FlowPopulation(count=6, size_dist="pareto", mean_packets=40.0),
+        arrivals=ArrivalSpec(process="poisson", rate=8.0),
+        red=RedParams(max_p=0.05),
+        seed=9,
+        duration=4.0,
+    )
+    loaded = SceneSpec.from_json(spec.to_json())
+    assert isinstance(loaded.topology, WaxmanParams)
+    assert loaded.digest() == spec.digest()
+    assert loaded == spec
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        SceneSpec.from_json("not json at all {")
+    with pytest.raises(ConfigurationError):
+        SceneSpec.from_json('{"just": "a dict"}')
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ConfigurationError, match="unknown scene family"):
+        SceneSpec(family="torus").validate()
+    with pytest.raises(ConfigurationError):
+        family("torus")
+
+
+def test_topology_type_must_match_family():
+    with pytest.raises(ConfigurationError, match="takes"):
+        SceneSpec(family="wan", topology=DumbbellParams()).validate()
+
+
+def test_flow_and_arrival_validation():
+    with pytest.raises(ConfigurationError):
+        SceneSpec(flows=FlowPopulation(count=0)).validate()
+    with pytest.raises(ConfigurationError):
+        SceneSpec(flows=FlowPopulation(variant="nope")).validate()
+    with pytest.raises(ConfigurationError):
+        SceneSpec(flows=FlowPopulation(size_dist="zipf")).validate()
+    with pytest.raises(ConfigurationError):
+        SceneSpec(arrivals=ArrivalSpec(process="batch")).validate()
+    with pytest.raises(ConfigurationError):
+        SceneSpec(duration=0.0).validate()
+
+
+def test_default_topology_lookup():
+    assert isinstance(default_topology("dumbbell"), DumbbellParams)
+    assert isinstance(default_topology("wan"), WaxmanParams)

@@ -1,0 +1,50 @@
+"""Watchdog.scaled: budgets derive from scene size, floored at classics."""
+
+from repro.sim.engine import Simulator
+from repro.sim.watchdog import Watchdog
+
+
+def test_small_scene_keeps_classic_floors():
+    dog = Watchdog.scaled(Simulator(), {}, flows=8, duration=10.0)
+    assert dog.stall_timeout == 60.0
+    assert dog.check_interval == 1.0
+    assert dog.max_events == Watchdog.SCALED_MIN_EVENTS
+    assert dog.max_event_rate == Watchdog.SCALED_MIN_RATE
+
+
+def test_budgets_scale_with_flows_times_duration():
+    dog = Watchdog.scaled(Simulator(), {}, flows=1000, duration=120.0)
+    assert dog.max_events == int(
+        Watchdog.SCALED_EVENTS_PER_FLOW_SECOND * 1000 * 120.0
+    )
+    assert dog.max_event_rate == Watchdog.SCALED_RATE_PER_FLOW * 1000
+    # A thousand-way fair share legitimately starves single flows for a
+    # long time: the stall budget widens to the full scene duration.
+    assert dog.stall_timeout == 120.0
+    assert dog.check_interval == 6.0
+
+
+def test_degenerate_sizes_are_clamped():
+    dog = Watchdog.scaled(Simulator(), {}, flows=0, duration=0.0)
+    assert dog.stall_timeout == 60.0
+    assert dog.max_events == Watchdog.SCALED_MIN_EVENTS
+
+
+def test_arm_returns_self_and_ticks():
+    sim = Simulator()
+    dog = Watchdog.scaled(sim, {}, flows=50, duration=2.0)
+    assert dog.arm() is dog
+    sim.run(until=2.5)
+    assert dog.checks_performed >= 1
+    assert not dog.triggered
+
+
+def test_scene_watchdog_is_scaled_and_armed():
+    from repro.scenes import FlowPopulation, SceneSpec, build_scene
+
+    scene = build_scene(SceneSpec(flows=FlowPopulation(count=4), duration=2.0))
+    dog = scene.watchdog()
+    assert dog.max_events >= Watchdog.SCALED_MIN_EVENTS
+    # Already armed: the first tick is on the calendar.
+    scene.sim.run(until=1.5)
+    assert dog.checks_performed >= 1
