@@ -10,7 +10,12 @@ verifies, without executing any example:
   module;
 * every ``python -m repro.experiments <cmd>`` invocation (in any
   fenced block) names a real subcommand, verified by running
-  ``python -m repro.experiments <cmd> --help``.
+  ``python -m repro.experiments <cmd> --help``;
+* every relative markdown link (``[text](OTHER.md)``,
+  ``[text](../FILE.md#anchor)``) resolves to an existing file;
+* every ``docs/*.md`` page is reachable from the ``docs/README.md``
+  index by following relative links — an orphaned page is a page
+  nobody will find.
 
 CI runs this (see .github/workflows/ci.yml), so renaming a public API
 or a CLI verb without updating the docs fails the build.
@@ -38,6 +43,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
 CLI_RE = re.compile(r"python -m repro\.experiments\s+([a-z0-9_.-]+)")
+# Inline markdown links; external schemes and pure #anchors are
+# filtered by link_targets, not the regex.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
 def fenced_blocks(text: str) -> Iterator[Tuple[str, str, int]]:
@@ -113,6 +121,63 @@ def check_cli_commands(commands: List[Tuple[str, str]]) -> List[str]:
     return problems
 
 
+def link_targets(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield (line number, relative target) per local markdown link,
+    skipping fenced code blocks, external URLs and same-page anchors."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            yield lineno, target.split("#", 1)[0]
+
+
+def check_links(path: Path, text: str) -> Tuple[List[str], List[Path]]:
+    """Resolve every relative link; return (problems, linked files)."""
+    problems: List[str] = []
+    resolved: List[Path] = []
+    for lineno, target in link_targets(text):
+        candidate = (path.parent / target).resolve()
+        if candidate.exists():
+            resolved.append(candidate)
+        else:
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{lineno}: broken link"
+                f" ({target} does not exist)"
+            )
+    return problems, resolved
+
+
+def check_reachability(linked_from: dict) -> List[str]:
+    """Every docs/*.md page must be reachable from docs/README.md by
+    following relative links (``linked_from`` maps each checked file to
+    the files it links to)."""
+    docs_dir = (REPO_ROOT / "docs").resolve()
+    index = docs_dir / "README.md"
+    if index not in linked_from:
+        return []  # partial invocation (explicit FILE... args)
+    reachable = set()
+    frontier = [index]
+    while frontier:
+        page = frontier.pop()
+        if page in reachable:
+            continue
+        reachable.add(page)
+        frontier.extend(linked_from.get(page, []))
+    return [
+        f"docs/{page.name}: not reachable from docs/README.md"
+        " (add it to the index table)"
+        for page in sorted(docs_dir.glob("*.md"))
+        if page.resolve() not in reachable
+    ]
+
+
 def check_file(path: Path) -> Tuple[List[str], List[Tuple[str, str]], int]:
     problems: List[str] = []
     commands: List[Tuple[str, str]] = []
@@ -138,16 +203,25 @@ def main(argv=None) -> int:
     problems: List[str] = []
     commands: List[Tuple[str, str]] = []
     total_blocks = 0
+    total_links = 0
+    linked_from: dict = {}
     for path in paths:
         file_problems, file_commands, blocks = check_file(path)
         problems.extend(file_problems)
         commands.extend(file_commands)
         total_blocks += blocks
+        link_problems, resolved = check_links(
+            path, path.read_text(encoding="utf-8")
+        )
+        problems.extend(link_problems)
+        total_links += len(resolved)
+        linked_from[path.resolve()] = resolved
     problems.extend(check_cli_commands(commands))
+    problems.extend(check_reachability(linked_from))
     unique_cmds = len({cmd for cmd, _ in commands})
     print(
         f"checked {len(paths)} files, {total_blocks} fenced blocks, "
-        f"{unique_cmds} distinct CLI commands"
+        f"{unique_cmds} distinct CLI commands, {total_links} relative links"
     )
     for problem in problems:
         print(f"FAIL {problem}")

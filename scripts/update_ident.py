@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Regenerate the identification artifacts.
+
+Two files, always together (they must agree on the model digest):
+
+* ``src/repro/ident/reference_model.json`` — the nearest-centroid
+  reference classifier fitted over the training grid; ships inside the
+  package so the CLI/chaos/golden consumers load identical bytes.
+* ``tests/golden/behavior_classes.json`` — the held-out feature
+  vectors, per-run verdicts and the confusion matrix; the
+  behavior-class regression gate checks the committed vectors
+  bit-exactly against a rerun.
+
+Run this ONLY after an intentional behavior change to a TCP variant
+(or to the feature definitions / grids).  Review the diff the same way
+as the golden digests: a change in one variant's vectors should touch
+only that variant's block.
+
+Usage: PYTHONPATH=src python scripts/update_ident.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.ident.classify import NearestCentroidClassifier  # noqa: E402
+from repro.ident.dataset import (  # noqa: E402
+    HELDOUT_GRID,
+    IDENT_VARIANTS,
+    collect_grid,
+    fit_reference_classifier,
+)
+from repro.ident.oracle import MIN_MARGIN, reference_model_path  # noqa: E402
+
+
+def build_behavior_classes(model: NearestCentroidClassifier) -> dict:
+    confusion = {v: {w: 0 for w in IDENT_VARIANTS} for v in IDENT_VARIANTS}
+    vectors: dict = {v: {} for v in IDENT_VARIANTS}
+    for variant, key, vector in collect_grid(HELDOUT_GRID):
+        classification = model.classify(vector)
+        confusion[variant][classification.label] += 1
+        vectors[variant][key] = {
+            "features": vector.as_dict(),
+            "identified": classification.label,
+            "margin": classification.margin,
+        }
+    return {
+        "_comment": "Held-out behavior-class vectors and confusion matrix "
+        "(repro.ident). Regenerate ONLY after intentional behavior "
+        "changes: PYTHONPATH=src python scripts/update_ident.py",
+        "format": 1,
+        "model_digest": model.digest(),
+        "min_margin": MIN_MARGIN,
+        "confusion": confusion,
+        "vectors": vectors,
+    }
+
+
+def main() -> int:
+    model = fit_reference_classifier()
+    model_target = reference_model_path()
+    model_target.write_text(model.to_json(), encoding="utf-8")
+    print(f"wrote {model_target}  (digest {model.digest()[:16]}…)")
+
+    payload = build_behavior_classes(model)
+    golden_target = REPO / "tests" / "golden" / "behavior_classes.json"
+    golden_target.parent.mkdir(parents=True, exist_ok=True)
+    golden_target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {golden_target}")
+
+    misses = [
+        (variant, identified, count)
+        for variant, row in payload["confusion"].items()
+        for identified, count in row.items()
+        if identified != variant and count
+    ]
+    for variant, row in payload["confusion"].items():
+        cells = " ".join(f"{row[w]:2d}" for w in IDENT_VARIANTS)
+        print(f"  {variant:<8} [{cells}]")
+    if misses:
+        print(f"WARNING: held-out misidentifications: {misses}")
+        return 1
+    print("held-out identification: perfect")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@ from repro.experiments.common import FlowSpec, build_dumbbell_scenario
 from repro.faults.campaign import CampaignRunner, CampaignSpec
 from repro.faults.plan import FaultContext, FaultPlan
 from repro.faults.triage import TriageResult, triage_crash
+from repro.ident.features import FlowTraceCollector
+from repro.ident.oracle import IdentityVerdict, identify_trace
 from repro.net.topology import DumbbellParams
 from repro.runner import SnapshotStore, SweepRunner, TaskSpec
 from repro.snapshot import Snapshot
@@ -60,6 +62,13 @@ class ChaosConfig:
     # Where triage snapshots persist (crash point in full, forks as
     # deltas).  None = digests only, nothing written to disk.
     snapshot_store_root: Optional[str] = None
+    # Behavior-class identity check (repro.ident): collect each run's
+    # trace features and classify them against the reference model.  A
+    # run whose *conclusive* identification contradicts its declared
+    # variant is flagged in the report — heavy fault plans legitimately
+    # distort dynamics, so an inconclusive verdict is recorded but
+    # never flagged, and divergence does not count against survival.
+    identify: bool = True
     campaign: CampaignSpec = field(
         default_factory=lambda: CampaignSpec(
             horizon=20.0,      # faults land while the transfer is in flight
@@ -91,6 +100,13 @@ class ChaosRun:
     records_checked: int = 0
     snapshot_digest: Optional[str] = None
     triage: Optional[TriageResult] = None
+    identity: Optional[IdentityVerdict] = None
+
+    @property
+    def identity_diverged(self) -> bool:
+        """True when the behavior-class oracle conclusively identified
+        this run as a *different* variant than declared."""
+        return self.identity is not None and self.identity.diverged
 
     @property
     def survived(self) -> bool:
@@ -196,6 +212,10 @@ def _run_one(
     if plan is not None:
         plan.install(FaultContext.from_scenario(scenario))
 
+    collector = None
+    if config.identify:
+        collector = FlowTraceCollector().install(bell.net.trace)
+
     sender = scenario.senders[1]
     sender.completion_callbacks.append(_StopOnComplete(sim))
 
@@ -211,6 +231,11 @@ def _run_one(
     finally:
         watchdog.disarm()
         suite.uninstall()
+        if collector is not None:
+            collector.uninstall()
+
+    if collector is not None and 1 in collector.flows:
+        run.identity = identify_trace(collector.flows[1], declared=variant)
 
     receiver = scenario.receivers[1]
     run.completed = sender.completed
@@ -332,6 +357,14 @@ def run_chaos(
             )
         result.baselines[variant] = baseline.finish_time
         result.runs.extend(campaign_runs)
+        if manifest is not None:
+            if baseline.identity is not None:
+                manifest.note_identity(f"{variant}/baseline", baseline.identity)
+            for run in campaign_runs:
+                if run.identity is not None:
+                    manifest.note_identity(
+                        f"{variant}/seed{run.seed_index}", run.identity
+                    )
     return result
 
 
@@ -401,6 +434,31 @@ def format_report(result: ChaosResult) -> str:
                 lines.append("  " + run.crash.format().replace("\n", "\n  "))
             elif run.triage is not None:
                 lines.append("  " + run.triage.format().replace("\n", "\n  "))
+    if config.identify:
+        diverged = [r for r in result.runs if r.identity_diverged]
+        checked = sum(1 for r in result.runs if r.identity is not None)
+        inconclusive = sum(
+            1
+            for r in result.runs
+            if r.identity is not None and not r.identity.conclusive
+        )
+        lines.append("")
+        if diverged:
+            lines.append(
+                f"IDENTITY DIVERGENCE: {len(diverged)}/{checked} runs"
+                " conclusively behave like a different variant than declared:"
+            )
+            for run in diverged:
+                lines.append(
+                    f"  {run.variant} seed {run.seed_index}:"
+                    f" {run.identity.describe()}"
+                )
+        else:
+            lines.append(
+                f"behavior-class oracle: {checked} runs checked, no declared/"
+                f"identified divergence ({inconclusive} inconclusive under"
+                " fault load)."
+            )
     lines.append("")
     lines.append(
         "paper shape (Section 2.3): under ACK loss RR degrades linearly —"

@@ -1,11 +1,13 @@
 """Command-line entry point: ``python -m repro.experiments <id>``.
 
 Experiment ids match DESIGN.md's experiment index: fig5, fig6, fig7,
-table5, plus the extension studies (ackloss, ablation, vegas, burst)
-and the robustness harness (chaos), or ``all``.  ``--quick`` shrinks
-sweeps for smoke runs; ``--out DIR`` additionally writes each report to
-``DIR/<id>.txt``; ``--seeds`` / ``--variants`` size the chaos campaign
-(see docs/FAULTS.md).
+table5, plus the extension studies (ackloss, ablation, vegas, burst),
+the robustness harnesses (chaos, identify) and the scene sweep
+(manyflow), or ``all``.  ``--quick`` shrinks sweeps for smoke runs;
+``--out DIR`` additionally writes each report to ``DIR/<id>.txt``;
+``--seeds`` / ``--variants`` size the chaos campaign (see
+docs/FAULTS.md); ``--grid`` picks the identification scenario grid
+(see docs/IDENTIFICATION.md).
 
 Every experiment grid is executed through :mod:`repro.runner`:
 ``--jobs N`` fans the independent cells out over N worker processes
@@ -44,6 +46,7 @@ from repro.experiments import (
     figure5,
     figure6,
     figure7,
+    identify,
     manyflow,
     table5,
     vegas_decomposition,
@@ -161,6 +164,24 @@ def _run_manyflow(args, runner, manifest=None):
     return manyflow.format_report(result), result, "manyflow"
 
 
+def _run_identify(args, runner, manifest=None):
+    config = identify.IdentifyConfig()
+    if getattr(args, "variants", None):
+        config.variants = tuple(args.variants)
+    if getattr(args, "grid", None):
+        config.grid = args.grid
+    result = identify.run_identify(config, runner=runner, manifest=manifest)
+    report = identify.format_report(result)
+    if result.diverged:
+        # The CI smoke step leans on this: a variant behaving unlike
+        # its declaration must fail the invocation, not just print.
+        raise RuntimeError(
+            f"{len(result.diverged)}/{len(result.rows)} runs identified as"
+            f" a different variant than declared\n{report}"
+        )
+    return report, None, None
+
+
 def _run_chaos(args, runner, manifest=None):
     config = chaos.ChaosConfig()
     if args.quick:
@@ -194,6 +215,7 @@ EXPERIMENTS = {
     "burst": _run_burst,
     "chaos": _run_chaos,
     "manyflow": _run_manyflow,
+    "identify": _run_identify,
 }
 
 #: One-line descriptions for ``--list``.
@@ -208,6 +230,7 @@ DESCRIPTIONS = {
     "burst": "Gilbert-Elliott burst-channel extension study",
     "chaos": "fault-injection campaigns with invariants + watchdog",
     "manyflow": "generated scenes swept against the mean-field RED oracle",
+    "identify": "trace-based variant identification vs the reference model",
 }
 
 #: Long-form spellings accepted on the command line.
@@ -531,7 +554,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="+",
         metavar="VARIANT",
         default=None,
-        help="chaos only: restrict to these TCP variants",
+        help="chaos/identify: restrict to these TCP variants",
+    )
+    parser.add_argument(
+        "--grid",
+        choices=("heldout", "training", "both"),
+        default=None,
+        help="identify only: which labeled scenario grid to sweep"
+        " (default heldout; see docs/IDENTIFICATION.md)",
     )
     parser.add_argument(
         "--triage",

@@ -113,6 +113,13 @@ class RunManifest:
     #: "measured_queue": ..., "predicted_queue": ..., "measured_loss":
     #: ..., "predicted_loss": ...}``.  None = the run had no oracle.
     oracle: Optional[List[Dict[str, Any]]] = None
+    #: Behavior-class identification verdicts for harnesses that run
+    #: the trace-based variant oracle (``identify``, chaos campaigns
+    #: with ``identify=True``): one flat dict per checked flow —
+    #: ``{"label": ..., "identified": ..., "declared": ...,
+    #: "distance": ..., "margin": ..., "conclusive": bool,
+    #: "ok": bool|None}``.  None = the run had no identity check.
+    identity: Optional[List[Dict[str, Any]]] = None
     tasks: List[Dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -173,6 +180,17 @@ class RunManifest:
         if self.oracle is None:
             self.oracle = []
         self.oracle.append(entry)
+
+    def note_identity(self, label: str, verdict: Any) -> None:
+        """Append one flow's behavior-class verdict (an
+        :class:`~repro.ident.oracle.IdentityVerdict`), mirroring
+        :meth:`note_oracle`: the manifest records what the run *behaved
+        like*, not just which variant it declared."""
+        entry = {"label": label}
+        entry.update(verdict.as_dict())
+        if self.identity is None:
+            self.identity = []
+        self.identity.append(entry)
 
     def note_warm_start_skipped(self, reason: str) -> None:
         """Record that a requested warm start was auto-skipped (the

@@ -19,7 +19,11 @@ inputs below participate:
   (``tests/golden/state_digests.json``), when present — refreshing the
   goldens via ``scripts/update_golden.py`` declares "behaviour
   intentionally changed", and stale cached rows must not outlive that
-  declaration.
+  declaration;
+* the committed behavior-class reference model
+  (``repro/ident/reference_model.json``) — identification verdicts
+  cached by sweep cells depend on the model bytes, and the model is
+  data, not a ``*.py`` file the walk would catch.
 
 Computing the fingerprint costs a few milliseconds; it is memoized per
 process.
@@ -73,6 +77,11 @@ def code_fingerprint(root: Optional[Path] = None) -> str:
     if golden.exists():
         digest.update(b"golden\0")
         digest.update(golden.read_bytes())
+        digest.update(b"\0")
+    reference_model = root / "ident" / "reference_model.json"
+    if reference_model.exists():
+        digest.update(b"ident-model\0")
+        digest.update(reference_model.read_bytes())
         digest.update(b"\0")
     result = digest.hexdigest()
     _CACHE[key] = result

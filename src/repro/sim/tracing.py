@@ -9,7 +9,7 @@ dictionary lookup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, DefaultDict, Dict, List
+from typing import Any, Callable, DefaultDict, Dict, Iterable, List
 from collections import defaultdict, deque
 
 
@@ -147,6 +147,18 @@ class TraceBus:
             # defaultdict read as "has subscribers" forever.
             del self._subscribers[category]
         self._invalidate(category)
+
+    def subscribe_many(self, categories: Iterable[str], fn: Subscriber) -> None:
+        """Register one ``fn`` across several exact categories — the
+        trace-tap idiom used by metrics collectors that want a handful
+        of related channels without paying for a wildcard."""
+        for category in categories:
+            self.subscribe(category, fn)
+
+    def unsubscribe_many(self, categories: Iterable[str], fn: Subscriber) -> None:
+        """Undo a :meth:`subscribe_many` with the same arguments."""
+        for category in categories:
+            self.unsubscribe(category, fn)
 
     def has_subscribers(self, category: str) -> bool:
         merged = self._merged.get(category)

@@ -352,6 +352,7 @@ class TcpSender(Agent):
                     duplicate=False,
                     snd_una=self.snd_una,
                     snd_nxt=self.snd_nxt,
+                    maxseq=self.maxseq,
                 )
             self._process_new_ack(packet)
             self._check_complete()
@@ -365,6 +366,7 @@ class TcpSender(Agent):
                     duplicate=True,
                     snd_una=self.snd_una,
                     snd_nxt=self.snd_nxt,
+                    maxseq=self.maxseq,
                 )
             self._process_dupack(packet)
         # older ACKs are stale: ignored
@@ -496,7 +498,12 @@ class TcpSender(Agent):
             return  # nothing outstanding; spurious
         self.timeouts += 1
         self.observer.on_timeout(self.sim.now, self)
-        self._emit("tcp.timeout", snd_una=self.snd_una, snd_nxt=self.snd_nxt)
+        self._emit(
+            "tcp.timeout",
+            snd_una=self.snd_una,
+            snd_nxt=self.snd_nxt,
+            maxseq=self.maxseq,
+        )
         was_in_recovery = self.in_recovery
         self.ssthresh = self._halved_ssthresh()
         self.cwnd = 1.0

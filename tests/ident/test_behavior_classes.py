@@ -1,0 +1,142 @@
+"""Golden behavior-class regression: committed held-out feature
+vectors, confusion matrix, and reference-model digest.
+
+This is the behavioral complement to tests/snapshot/test_golden.py.
+The state-digest golden answers "did any byte of sender state drift?";
+this file answers "did the *behavior class* drift?" — and, crucially,
+tolerates refactors that flip the digest without changing behavior.
+A mismatch here means a recovery variant changed how it acts on the
+wire.  If intentional, regenerate both committed artifacts with
+``PYTHONPATH=src python scripts/update_ident.py`` and commit the diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ident.dataset import (
+    HELDOUT_GRID,
+    IDENT_VARIANTS,
+    collect_run,
+    scenario_by_key,
+)
+from repro.ident.oracle import (
+    MIN_MARGIN,
+    identify_features,
+    load_reference_classifier,
+)
+
+GOLDEN_FILE = Path(__file__).parent.parent / "golden" / "behavior_classes.json"
+
+
+@pytest.fixture(scope="module")
+def committed():
+    return json.loads(GOLDEN_FILE.read_text())
+
+
+class TestGoldenFile:
+    def test_format(self, committed):
+        assert committed["format"] == 1
+
+    def test_min_margin_matches_oracle(self, committed):
+        assert committed["min_margin"] == MIN_MARGIN
+
+    def test_model_digest_matches_packaged_model(self, committed):
+        # The committed vectors were classified by *this* model; a
+        # digest mismatch means reference_model.json and the golden
+        # file were regenerated out of step.
+        assert committed["model_digest"] == load_reference_classifier().digest()
+
+    def test_every_variant_and_cell_committed(self, committed):
+        assert set(committed["vectors"]) == set(IDENT_VARIANTS)
+        heldout_keys = {scenario.key for scenario in HELDOUT_GRID}
+        for variant, cells in committed["vectors"].items():
+            assert set(cells) == heldout_keys, variant
+
+    def test_confusion_matrix_is_perfect_diagonal(self, committed):
+        for declared, row in committed["confusion"].items():
+            for identified, count in row.items():
+                expected = len(HELDOUT_GRID) if identified == declared else 0
+                assert count == expected, (declared, identified)
+
+    def test_confusion_matrix_consistent_with_vectors(self, committed):
+        for declared, cells in committed["vectors"].items():
+            for key, cell in cells.items():
+                assert (
+                    committed["confusion"][declared][cell["identified"]] > 0
+                ), (declared, key)
+
+
+@pytest.mark.parametrize("variant", IDENT_VARIANTS)
+def test_heldout_vectors_match_golden(variant, committed):
+    """Re-run every held-out cell and demand *bit-exact* features and
+    the same conclusive identification as committed."""
+    model = load_reference_classifier()
+    for scenario in HELDOUT_GRID:
+        cell = committed["vectors"][variant][scenario.key]
+        vector = collect_run(variant, scenario)
+        drifted = {
+            name: (value, cell["features"][name])
+            for name, value in vector.as_dict().items()
+            if value != cell["features"][name]
+        }
+        assert not drifted, (
+            f"{variant}/{scenario.key} behavior drifted: {drifted} — if"
+            " intentional, run scripts/update_ident.py and commit"
+        )
+        verdict = identify_features(vector, declared=variant, classifier=model)
+        assert verdict.identified == cell["identified"]
+        assert verdict.margin == cell["margin"]
+        assert verdict.ok is True
+
+
+class TestBehaviorSensitivity:
+    def test_one_line_variant_change_drifts_the_features(self, monkeypatch, committed):
+        """The gate's reason to exist: the same one-line RR tweak the
+        state-digest golden uses must also move the behavior features
+        — drift is caught at the behavior level, not just the
+        state-bytes level."""
+        from repro.core.robust_recovery import RobustRecoverySender
+
+        original = RobustRecoverySender._recovery_dupack
+
+        def tweaked(self, packet):
+            original(self, packet)
+            self.ndup += 1  # the intentional one-line change
+
+        monkeypatch.setattr(RobustRecoverySender, "_recovery_dupack", tweaked)
+        scenario = scenario_by_key("burst-5@90")
+        perturbed = collect_run("rr", scenario)
+        expected = committed["vectors"]["rr"][scenario.key]["features"]
+        assert perturbed.as_dict() != expected
+
+    def test_digest_only_refactor_is_tolerated(self, monkeypatch, committed):
+        """The converse guarantee: a refactor that changes sender
+        *state bytes* (flipping every snapshot digest) but not wire
+        behavior must leave the feature vectors bit-identical — this
+        gate does not cry wolf on representation changes."""
+        from repro.core.robust_recovery import RobustRecoverySender
+        from repro.snapshot import golden_digests
+
+        original_init = RobustRecoverySender.__init__
+
+        def refactored(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            self._refactor_scratch = []  # benign new attribute
+
+        monkeypatch.setattr(RobustRecoverySender, "__init__", refactored)
+
+        state_golden = json.loads(
+            (Path(__file__).parent.parent / "golden" / "state_digests.json").read_text()
+        )
+        assert golden_digests("rr") != state_golden["digests"]["rr"], (
+            "the refactor was supposed to flip the state digest"
+        )
+
+        scenario = scenario_by_key("burst-5@90")
+        vector = collect_run("rr", scenario)
+        assert (
+            vector.as_dict()
+            == committed["vectors"]["rr"][scenario.key]["features"]
+        )

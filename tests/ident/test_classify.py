@@ -1,0 +1,192 @@
+"""Unit tests for the nearest-centroid classifier and the identity
+oracle's verdict semantics."""
+
+import pickle
+
+import pytest
+
+from repro.ident.classify import MIN_SCALE, NearestCentroidClassifier
+from repro.ident.features import FeatureVector, FlowTrace
+from repro.ident.oracle import (
+    MIN_MARGIN,
+    IdentityVerdict,
+    identify_features,
+    identify_trace,
+    load_reference_classifier,
+    reference_model_path,
+)
+
+
+def vec(a, b):
+    return FeatureVector(names=("a", "b"), values=(float(a), float(b)))
+
+
+SAMPLES = [
+    ("left", vec(0.0, 0.0)),
+    ("left", vec(0.2, 0.1)),
+    ("right", vec(4.0, 4.0)),
+    ("right", vec(3.8, 3.9)),
+]
+
+
+class TestFit:
+    def test_fit_is_permutation_invariant(self):
+        forward = NearestCentroidClassifier.fit(SAMPLES)
+        backward = NearestCentroidClassifier.fit(list(reversed(SAMPLES)))
+        assert forward.to_json() == backward.to_json()
+        assert forward.digest() == backward.digest()
+        assert forward == backward
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier.fit([])
+
+    def test_constant_feature_hits_scale_floor(self):
+        model = NearestCentroidClassifier.fit(
+            [("x", vec(1.0, 5.0)), ("y", vec(2.0, 5.0))]
+        )
+        assert model.scales[model.feature_names.index("b")] == MIN_SCALE
+
+    def test_wrong_arity_centroid_rejected(self):
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier(
+                feature_names=("a", "b"),
+                means=(0.0, 0.0),
+                scales=(1.0, 1.0),
+                centroids={"x": (0.0,)},
+            )
+
+
+class TestClassify:
+    def test_nearest_label_wins(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        assert model.classify(vec(0.3, 0.3)).label == "left"
+        assert model.classify(vec(3.5, 3.5)).label == "right"
+
+    def test_margin_bounds_and_distances(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        result = model.classify(vec(0.0, 0.0))
+        assert 0.0 <= result.margin <= 1.0
+        assert set(result.distances) == {"left", "right"}
+        assert result.distance == result.distances["left"]
+
+    def test_tie_breaks_lexicographically(self):
+        model = NearestCentroidClassifier(
+            feature_names=("a",),
+            means=(0.0,),
+            scales=(1.0,),
+            centroids={"zeta": (-1.0,), "alpha": (1.0,)},
+        )
+        result = model.classify(FeatureVector(names=("a",), values=(0.0,)))
+        assert result.label == "alpha"
+        assert result.margin == 0.0
+
+    def test_accepts_reordered_features(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        flipped = FeatureVector(names=("b", "a"), values=(0.1, 0.2))
+        assert model.classify(flipped).label == "left"
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        back = NearestCentroidClassifier.from_json(model.to_json())
+        assert back == model
+        assert back.digest() == model.digest()
+
+    def test_unknown_kind_and_format_rejected(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier.from_json(
+                model.to_json().replace("nearest-centroid", "svm")
+            )
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier.from_json(
+                model.to_json().replace('"format": 1', '"format": 2')
+            )
+
+    def test_pickles_cleanly(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone == model
+
+
+class TestReferenceModel:
+    def test_committed_model_loads_and_caches(self):
+        model = load_reference_classifier()
+        assert load_reference_classifier() is model
+        assert reference_model_path().exists()
+
+    def test_reference_covers_the_five_variants(self):
+        from repro.ident.dataset import IDENT_VARIANTS
+
+        assert load_reference_classifier().labels == tuple(
+            sorted(IDENT_VARIANTS)
+        )
+
+
+class TestVerdicts:
+    def test_conclusive_match(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        verdict = identify_features(
+            vec(0.0, 0.0), declared="left", classifier=model
+        )
+        assert verdict.identified == "left"
+        assert verdict.conclusive
+        assert verdict.ok is True
+        assert not verdict.diverged
+
+    def test_conclusive_divergence(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        verdict = identify_features(
+            vec(4.0, 4.0), declared="left", classifier=model
+        )
+        assert verdict.identified == "right"
+        assert verdict.ok is False
+        assert verdict.diverged
+
+    def test_thin_margin_is_inconclusive_not_diverged(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        # Exactly between the centroids: margin ~ 0 < MIN_MARGIN.
+        verdict = identify_features(
+            vec(2.0, 2.0), declared="left", classifier=model
+        )
+        assert verdict.margin < MIN_MARGIN
+        assert not verdict.conclusive
+        assert verdict.ok is None
+        assert not verdict.diverged
+
+    def test_undeclared_has_no_ok(self):
+        model = NearestCentroidClassifier.fit(SAMPLES)
+        verdict = identify_features(vec(0.0, 0.0), classifier=model)
+        assert verdict.conclusive
+        assert verdict.ok is None
+
+    def test_traces_without_loss_evidence_are_inconclusive(self):
+        # A clean run matches every variant; the oracle must refuse to
+        # call it rather than pick whichever centroid sits closest.
+        verdict = identify_trace(
+            FlowTrace(flow_id=1), declared="reno"
+        )
+        assert not verdict.conclusive
+        assert verdict.ok is None
+
+    def test_as_dict_is_flat_manifest_payload(self):
+        verdict = IdentityVerdict(
+            identified="rr",
+            declared="reno",
+            distance=1.25,
+            margin=0.5,
+            conclusive=True,
+            ok=False,
+        )
+        payload = verdict.as_dict()
+        assert payload == {
+            "identified": "rr",
+            "declared": "reno",
+            "distance": 1.25,
+            "margin": 0.5,
+            "conclusive": True,
+            "ok": False,
+        }
+        assert "DIVERGED" in verdict.describe()

@@ -1,0 +1,149 @@
+"""Unit tests for the trace-bus feature extraction layer.
+
+The load-bearing property here is label-blindness: the collector must
+key flows by numeric id and throw away the variant prefix of the
+source label, so identification can never degenerate into string
+matching on ``"reno/f1"``.
+"""
+
+import json
+
+import pytest
+
+from repro.ident.features import (
+    FEATURE_NAMES,
+    TCP_CATEGORIES,
+    FeatureVector,
+    FlowTrace,
+    FlowTraceCollector,
+    _flow_id_of,
+    extract_features,
+)
+from repro.sim.tracing import TraceBus
+
+
+class TestFeatureVector:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureVector(names=("a", "b"), values=(1.0,))
+
+    def test_getitem_and_as_dict(self):
+        vec = FeatureVector(names=("a", "b"), values=(1.5, 2.5))
+        assert vec["b"] == 2.5
+        assert vec.as_dict() == {"a": 1.5, "b": 2.5}
+        with pytest.raises(KeyError):
+            vec["missing"]
+
+    def test_json_round_trip_is_bit_exact(self):
+        vec = FeatureVector(
+            names=("a", "b"), values=(1.0 / 3.0, 0.1 + 0.2)
+        )
+        back = FeatureVector.from_json(vec.to_json())
+        assert back.values == vec.values
+        assert back.to_json() == vec.to_json()
+
+    def test_to_json_is_canonical(self):
+        ab = FeatureVector(names=("a", "b"), values=(1.0, 2.0))
+        ba = FeatureVector(names=("b", "a"), values=(2.0, 1.0))
+        assert ab.to_json() == ba.to_json()
+        assert list(json.loads(ab.to_json())) == ["a", "b"]
+
+    def test_reordered(self):
+        vec = FeatureVector(names=("a", "b"), values=(1.0, 2.0))
+        assert vec.reordered(("b", "a")).values == (2.0, 1.0)
+
+
+class TestFlowIdParsing:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("reno/f1", 1),
+            ("newreno/f12", 12),
+            ("mystery/f3", 3),
+            ("queue", None),  # not a flow label
+            ("/f1", None),  # no variant head at all
+            ("reno/fx", None),  # non-numeric id
+        ],
+    )
+    def test_flow_id_of(self, source, expected):
+        assert _flow_id_of(source) == expected
+
+
+class TestCollector:
+    def test_taps_exclude_rr_instrumentation(self):
+        # tcp.rr carries RR-only internals (actnum/ndup); a behavior
+        # classifier listening to it would identify RR by channel
+        # presence, not behavior.
+        assert "tcp.rr" not in TCP_CATEGORIES
+
+    def test_collects_per_flow_and_ignores_foreign_sources(self):
+        bus = TraceBus()
+        collector = FlowTraceCollector().install(bus)
+        bus.emit(0.1, "tcp.send", "reno/f1", seqno=0, retransmit=False)
+        bus.emit(0.2, "tcp.send", "reno/f2", seqno=5, retransmit=True)
+        bus.emit(0.3, "tcp.cwnd", "reno/f1", cwnd=4.0)
+        bus.emit(0.4, "tcp.ack", "queue-tap", ackno=1, duplicate=False)
+        collector.uninstall()
+        assert sorted(collector.flows) == [1, 2]
+        assert collector.flows[1].sends == [(0, 0.1, 0, False)]
+        assert collector.flows[2].sends == [(1, 0.2, 5, True)]
+        assert collector.flows[1].cwnd == [(2, 0.3, 4.0)]
+
+    def test_uninstall_stops_collection(self):
+        bus = TraceBus()
+        collector = FlowTraceCollector().install(bus)
+        bus.emit(0.1, "tcp.send", "reno/f1", seqno=0, retransmit=False)
+        collector.uninstall()
+        bus.emit(0.2, "tcp.send", "reno/f1", seqno=1, retransmit=False)
+        assert len(collector.flows[1].sends) == 1
+
+    def test_double_install_rejected(self):
+        collector = FlowTraceCollector().install(TraceBus())
+        with pytest.raises(ValueError):
+            collector.install(TraceBus())
+
+    def test_features_for_unknown_flow_raises(self):
+        with pytest.raises(KeyError):
+            FlowTraceCollector().features(flow_id=9)
+
+
+class TestExtraction:
+    def test_empty_trace_yields_all_zero_vector(self):
+        vec = extract_features(FlowTrace(flow_id=1))
+        assert vec.names == FEATURE_NAMES
+        # entry_cwnd_drop defaults to 1.0 ("cwnd untouched") when no
+        # episode was observed; everything else is zero.
+        expected = {name: 0.0 for name in FEATURE_NAMES}
+        expected["entry_cwnd_drop"] = 1.0
+        assert vec.as_dict() == expected
+
+    def test_entry_drop_is_time_strict(self):
+        # The halving a sender performs while reacting to the 3rd dup
+        # ACK lands at the SAME sim time as the recovery_enter marker
+        # (and earlier in arrival order).  The "before" cwnd must be
+        # the value strictly before that instant.
+        trace = FlowTrace(flow_id=1)
+        trace.sends = [(0, 0.0, 0, False)]
+        trace.acks = [(1, 1.0, 1, False)]
+        trace.cwnd = [(2, 1.0, 8.0), (3, 2.0, 4.0)]  # halved at t=2.0
+        trace.enters = [(4, 2.0, 10)]  # same instant, later in order
+        trace.exits = [(5, 3.0)]
+        vec = extract_features(trace)
+        assert vec["entry_cwnd_drop"] == pytest.approx(4.0 / 8.0)
+
+
+class TestLabelLeak:
+    def test_renamed_variant_identifies_identically(self, monkeypatch):
+        """Renaming a sender class must change nothing: the features
+        and the classification depend on behavior alone."""
+        from repro.core.robust_recovery import RobustRecoverySender
+        from repro.ident.dataset import collect_run, scenario_by_key
+        from repro.ident.oracle import identify_features
+
+        scenario = scenario_by_key("burst-5@90")
+        baseline = collect_run("rr", scenario)
+        monkeypatch.setattr(RobustRecoverySender, "variant", "mystery")
+        renamed = collect_run("rr", scenario)
+        assert renamed.to_json() == baseline.to_json()
+        verdict = identify_features(renamed)
+        assert verdict.identified == "rr"

@@ -1,0 +1,126 @@
+"""Determinism contract of the identification pipeline.
+
+The same seed must yield bit-identical feature vectors: rerun in the
+same process, serial vs a parallel sweep, and across processes with
+different hash seeds and engine backends.  Everything downstream (the
+committed reference model, the golden behavior classes, cached sweep
+cells) leans on this.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.ident.classify import NearestCentroidClassifier
+from repro.ident.dataset import (
+    TRAINING_GRID,
+    collect_grid,
+    collect_run,
+    fit_reference_classifier,
+    scenario_by_key,
+)
+from repro.ident.oracle import load_reference_classifier
+from repro.runner import SweepRunner
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestInProcess:
+    def test_rerun_is_bit_identical(self):
+        scenario = scenario_by_key("gilbert-s23")
+        first = collect_run("newreno", scenario)
+        second = collect_run("newreno", scenario)
+        assert first.to_json() == second.to_json()
+
+    def test_refit_is_byte_identical(self):
+        first = fit_reference_classifier()
+        second = fit_reference_classifier()
+        assert first.to_json() == second.to_json()
+
+    def test_refit_reproduces_the_committed_model(self):
+        """Fitting from scratch over the training grid must land on
+        the exact committed reference model — the model artifact is a
+        pure function of the code."""
+        assert fit_reference_classifier() == load_reference_classifier()
+
+
+class TestSerialVsParallel:
+    def test_parallel_sweep_matches_serial(self):
+        grid = TRAINING_GRID[:2]
+        variants = ("reno", "rr")
+        serial = collect_grid(grid, variants=variants)
+        parallel = collect_grid(
+            grid, variants=variants, runner=SweepRunner(jobs=2)
+        )
+        assert [(v, k) for v, k, _ in serial] == [
+            (v, k) for v, k, _ in parallel
+        ]
+        for (_, _, a), (_, _, b) in zip(serial, parallel):
+            assert a.to_json() == b.to_json()
+
+    def test_fit_through_runner_matches_inline(self):
+        assert fit_reference_classifier(
+            runner=SweepRunner(jobs=2)
+        ) == fit_reference_classifier()
+
+
+_CELL_SCRIPT = """\
+import json
+from repro.ident.dataset import collect_run, scenario_by_key
+for variant, key in (("reno", "burst-3@100"), ("rr", "gilbert-s23")):
+    vector = collect_run(variant, scenario_by_key(key))
+    print(f"{variant}/{key} {vector.to_json()}")
+"""
+
+
+def _run_cells(extra_env):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.update(extra_env)
+    result = subprocess.run(
+        [sys.executable, "-c", _CELL_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestCrossProcess:
+    def test_backends_and_hash_seeds_agree(self):
+        """Pure-python engine in one process, the default (compiled
+        when available) in another, different PYTHONHASHSEED in each:
+        the printed feature vectors must be byte-identical.  On a
+        build without the compiled core both runs are pure and the
+        comparison degrades to plain cross-process determinism."""
+        pure = _run_cells(
+            {"REPRO_PURE_PYTHON": "1", "PYTHONHASHSEED": "1"}
+        )
+        default = _run_cells(
+            {"REPRO_PURE_PYTHON": "0", "PYTHONHASHSEED": "2"}
+        )
+        assert pure == default
+        assert "reno/burst-3@100" in pure
+
+
+class TestModelArtifact:
+    def test_committed_model_is_canonical_json(self):
+        """The committed file must be the classifier's own canonical
+        serialization, byte for byte — hand-edits or non-canonical
+        rewrites would silently change the digest the runner
+        fingerprints."""
+        from repro.ident.oracle import reference_model_path
+
+        text = reference_model_path().read_text(encoding="utf-8")
+        assert NearestCentroidClassifier.from_json(text).to_json() == text
+
+    def test_digest_is_stable_across_loads(self):
+        from repro.ident.oracle import reference_model_path
+
+        text = reference_model_path().read_text(encoding="utf-8")
+        a = NearestCentroidClassifier.from_json(text)
+        b = NearestCentroidClassifier.from_json(json.dumps(json.loads(text)))
+        assert a.digest() == b.digest()

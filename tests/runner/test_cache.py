@@ -93,3 +93,16 @@ class TestCodeFingerprint:
             (golden / "state_digests.json").write_text(body)
             roots.append(root)
         assert code_fingerprint(roots[0]) != code_fingerprint(roots[1])
+
+    def test_reference_model_change_changes_fingerprint(self, tmp_path):
+        # Regenerating the behavior-class reference model must
+        # likewise invalidate cached results: identification verdicts
+        # depend on the model bytes, which no .py file carries.
+        roots = []
+        for name, body in [("one", '{"kind": "a"}'), ("two", '{"kind": "b"}')]:
+            root = tmp_path / name / "src" / "repro"
+            (root / "ident").mkdir(parents=True)
+            (root / "a.py").write_text("x = 1\n")
+            (root / "ident" / "reference_model.json").write_text(body)
+            roots.append(root)
+        assert code_fingerprint(roots[0]) != code_fingerprint(roots[1])

@@ -1,0 +1,102 @@
+"""Regression tests for ``tcp.*`` trace-record payloads.
+
+docs/FAULTS.md promises ``SendWindowSanity`` checks
+``snd_una <= snd_nxt <= maxseq`` at every send/ACK — which only works
+if every ``tcp.send``, ``tcp.ack`` and ``tcp.timeout`` record actually
+carries all three fields.  ``maxseq`` was historically missing from
+the ACK and timeout emissions, silently reducing the invariant to a
+two-term check there; these tests pin the full payload.
+"""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.net.packet import ack_packet
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.tcp.reno import RenoSender
+from tests.conftest import StubHost
+
+WINDOW_FIELDS = ("snd_una", "snd_nxt", "maxseq")
+
+
+class TracedHarness:
+    """SenderHarness with a live trace bus and a wildcard record tap."""
+
+    def __init__(self, sender_cls=RenoSender):
+        self.sim = Simulator()
+        self.bus = TraceBus()
+        self.records = []
+        self.bus.subscribe(TraceBus.WILDCARD, self.records.append)
+        self.host = StubHost()
+        self.sender = sender_cls(
+            self.sim,
+            1,
+            "K1",
+            config=TcpConfig(initial_cwnd=8.0, initial_ssthresh=64.0),
+            trace=self.bus,
+        )
+        self.sender.attach(self.host)
+
+    def ack(self, ackno, count=1):
+        for _ in range(count):
+            self.sender.receive(ack_packet(1, "K1", "S1", ackno))
+
+    def by_category(self, category):
+        return [r for r in self.records if r.category == category]
+
+
+@pytest.fixture
+def driven():
+    """A sender driven through new ACKs, a recovery episode, and a
+    retransmission timeout — every emission path exercised."""
+    harness = TracedHarness()
+    harness.sender.start()
+    harness.ack(1)  # new ACK
+    harness.ack(1, count=3)  # three duplicates: fast retransmit
+    harness.sim.run(until=harness.sim.now + 60.0)  # starve ACKs: RTO
+    return harness
+
+
+class TestWindowFieldsOnEveryRecord:
+    @pytest.mark.parametrize("category", ["tcp.send", "tcp.ack", "tcp.timeout"])
+    def test_records_carry_the_send_window_triple(self, driven, category):
+        records = driven.by_category(category)
+        assert records, f"the scripted drive emitted no {category} records"
+        for record in records:
+            missing = [f for f in WINDOW_FIELDS if f not in record.fields]
+            assert not missing, (
+                f"{category} record at t={record.time:g} is missing"
+                f" {missing}: SendWindowSanity cannot check"
+                " snd_una <= snd_nxt <= maxseq without them"
+            )
+
+    def test_window_triple_is_sane_on_every_record(self, driven):
+        for category in ("tcp.send", "tcp.ack", "tcp.timeout"):
+            for record in driven.by_category(category):
+                fields = record.fields
+                assert (
+                    fields["snd_una"] <= fields["snd_nxt"] <= fields["maxseq"]
+                ), (category, fields)
+
+
+class TestPayloadShapes:
+    def test_both_ack_polarities_emitted(self, driven):
+        duplicates = {r.fields["duplicate"] for r in driven.by_category("tcp.ack")}
+        assert duplicates == {True, False}
+        for record in driven.by_category("tcp.ack"):
+            assert "ackno" in record.fields
+
+    def test_send_records_flag_retransmits(self, driven):
+        sends = driven.by_category("tcp.send")
+        assert {r.fields["retransmit"] for r in sends} == {True, False}
+        for record in sends:
+            assert "seqno" in record.fields
+
+    def test_timeout_fired(self, driven):
+        assert driven.sender.timeouts >= 1
+        assert len(driven.by_category("tcp.timeout")) >= 1
+
+    def test_source_label_carries_variant_and_flow(self, driven):
+        sources = {r.source for r in driven.records}
+        assert sources == {"reno/f1"}
