@@ -94,6 +94,17 @@ MANYFLOW_THRESHOLD = 0.30
 #: full runs so CI smoke numbers gate against the committed baseline.
 MANYFLOW_SCENE = {"family": "wan", "n_routers": 40, "flows": 60, "duration": 2.0}
 
+#: Tolerated fractional events/sec drop for the rivals mobile cell,
+#: same macro-gate threshold as manyflow.
+RIVALS_THRESHOLD = 0.30
+
+#: The rivals smoke cell: a CUBIC-vs-RR match on the time-varying
+#: mobile bottleneck — exercises the modern-rival senders plus the
+#: RateSchedule machinery.  Identical for ``--quick`` and full runs.
+#: Sized long enough (~50k events) that the probe isn't all startup
+#: noise on a busy runner.
+RIVALS_CELL = {"variant": "cubic", "regime": "mobile", "duration": 20.0}
+
 
 def time_workload(fn, kwargs, repeats: int) -> dict:
     """Best-of-``repeats`` timing (one untimed warmup)."""
@@ -408,6 +419,99 @@ def bench_manyflow(quick: bool) -> dict:
     return {"scene": dict(MANYFLOW_SCENE), "backends": backends}
 
 
+# Same fresh-interpreter arrangement as the manyflow probe: the engine
+# backend must come from the environment, not this process's imports.
+_RIVALS_PROBE = """
+import json, sys, time
+from repro.experiments.rivals import RivalsConfig, build_cell_world
+from repro.sim.engine import CORE_BACKEND
+
+cell = json.loads(sys.argv[1])
+config = RivalsConfig(
+    duration=cell["duration"], warmup=cell["duration"] * 0.25
+)
+world = build_cell_world("match", cell["variant"], cell["regime"], config)
+start = time.perf_counter()
+world.sim.run(until=cell["duration"])
+elapsed = time.perf_counter() - start
+print(json.dumps({
+    "backend": CORE_BACKEND,
+    "events": world.sim.events_processed,
+    "seconds": round(elapsed, 6),
+    "events_per_sec": round(world.sim.events_processed / elapsed, 1),
+}))
+"""
+
+
+def bench_rivals(quick: bool) -> dict:
+    """Events/sec on the rivals mobile match cell, per engine backend.
+
+    A CUBIC-vs-RR match over the time-varying wireless bottleneck
+    (docs/SCENARIOS.md §5) — the modern-rival counterpart of the
+    manyflow WAN probe, with the same subprocess-per-backend
+    arrangement so ``--check`` gates each backend against its own
+    committed figure.  The probe is cheap (~100 ms), so even ``--quick``
+    takes best-of-2 — a single sample of a short cell is too noisy to
+    gate on.
+    """
+    repeats = 2 if quick else 3
+    backends = {}
+    for env_value in (None, "1"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_PURE_PYTHON", None)
+        if env_value is not None:
+            env["REPRO_PURE_PYTHON"] = env_value
+        best = None
+        for _ in range(repeats):
+            out = subprocess.run(
+                [sys.executable, "-c", _RIVALS_PROBE, json.dumps(RIVALS_CELL)],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            probe = json.loads(out.stdout)
+            if best is None or probe["events_per_sec"] > best["events_per_sec"]:
+                best = probe
+        backend = best.pop("backend")
+        backends[backend] = best
+        print(
+            f"  rivals-cell [{backend:<8}] {best['seconds'] * 1000:8.2f} ms"
+            f"  {best['events_per_sec']:>12,.0f} ev/s"
+        )
+    return {"cell": dict(RIVALS_CELL), "backends": backends}
+
+
+def check_rivals_regression(fresh: dict, baseline_path: Path) -> int:
+    """Gate the rivals mobile-cell events/sec per backend (>30% drop)."""
+    if not baseline_path.exists():
+        print(f"no committed baseline at {baseline_path}; skipping rivals check")
+        return 0
+    baseline = json.loads(baseline_path.read_text()).get("rivals")
+    if not baseline:
+        print("committed baseline has no rivals section; skipping rivals check")
+        return 0
+    if baseline.get("cell") != fresh.get("cell"):
+        print("rivals cell sizing changed since the baseline; skipping the gate")
+        return 0
+    failures = 0
+    for backend, fresh_bench in fresh["backends"].items():
+        base_bench = baseline.get("backends", {}).get(backend)
+        if base_bench is None or not base_bench.get("events_per_sec"):
+            continue
+        delta = fresh_bench["events_per_sec"] / base_bench["events_per_sec"] - 1.0
+        verdict = "ok"
+        if delta < -RIVALS_THRESHOLD:
+            verdict = "REGRESSION"
+            failures += 1
+        print(
+            f"  rivals-cell [{backend:<8}] baseline {base_bench['events_per_sec']:>12,.0f}"
+            f"  fresh {fresh_bench['events_per_sec']:>12,.0f}"
+            f"  ({delta:+.1%} vs -{RIVALS_THRESHOLD:.0%} allowed)  {verdict}"
+        )
+    if failures:
+        print(f"{failures} rivals backend(s) regressed past the threshold")
+    return 1 if failures else 0
+
+
 def check_manyflow_regression(fresh: dict, baseline_path: Path) -> int:
     """Gate the manyflow WAN-scene events/sec per backend (>30% drop)."""
     if not baseline_path.exists():
@@ -544,6 +648,8 @@ def main(argv=None) -> int:
         delta = bench_delta()
         print("manyflow WAN scene (both engine backends):")
         manyflow = bench_manyflow(args.quick)
+        print("rivals mobile cell (both engine backends):")
+        rivals = bench_rivals(args.quick)
         (out_dir / EXPERIMENTS_BASELINE).write_text(
             json.dumps(
                 {
@@ -552,6 +658,7 @@ def main(argv=None) -> int:
                     "warmstart": warmstart,
                     "delta": delta,
                     "manyflow": manyflow,
+                    "rivals": rivals,
                 },
                 indent=2,
             )
@@ -567,6 +674,9 @@ def main(argv=None) -> int:
         if not args.micro_only:
             failed |= check_manyflow_regression(
                 manyflow, REPO_ROOT / EXPERIMENTS_BASELINE
+            )
+            failed |= check_rivals_regression(
+                rivals, REPO_ROOT / EXPERIMENTS_BASELINE
             )
         return failed
     return 0

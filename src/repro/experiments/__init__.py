@@ -17,6 +17,7 @@ from repro.experiments.figure5 import Figure5Config, run_figure5
 from repro.experiments.figure6 import Figure6Config, run_figure6
 from repro.experiments.figure7 import Figure7Config, run_figure7
 from repro.experiments.manyflow import ManyflowConfig, run_manyflow
+from repro.experiments.rivals import RivalsConfig, run_rivals
 from repro.experiments.table5 import Table5Config, run_table5
 from repro.experiments.ackloss import AckLossConfig, run_ackloss
 from repro.experiments.ablation import AblationConfig, run_ablation
@@ -39,6 +40,8 @@ __all__ = [
     "run_figure7",
     "ManyflowConfig",
     "run_manyflow",
+    "RivalsConfig",
+    "run_rivals",
     "Table5Config",
     "run_table5",
     "AckLossConfig",

@@ -48,6 +48,7 @@ from repro.experiments import (
     figure7,
     identify,
     manyflow,
+    rivals,
     table5,
     vegas_decomposition,
 )
@@ -154,6 +155,10 @@ def _run_manyflow(args, runner, manifest=None):
     config = manyflow.ManyflowConfig()
     if getattr(args, "scene", None):
         config.family = args.scene
+    if getattr(args, "delayed_ack", False):
+        config.delayed_ack = True
+    if getattr(args, "ecn", False):
+        config.ecn = True
     if args.quick:
         config.flow_counts = (25,)
         config.max_ps = (0.02,)
@@ -162,6 +167,24 @@ def _run_manyflow(args, runner, manifest=None):
         config, runner=runner, warm_start=_warm(args), manifest=manifest
     )
     return manyflow.format_report(result), result, "manyflow"
+
+
+def _run_rivals(args, runner, manifest=None):
+    config = rivals.RivalsConfig()
+    if getattr(args, "delayed_ack", False):
+        config.force_delayed_ack = True
+    if getattr(args, "ecn", False):
+        config.force_ecn = True
+    if args.quick:
+        config.rivals = ("cubic", "relentless")
+        config.regimes = ("delack", "ecn-red", "mobile")
+        config.duration = 10.0
+        config.model_loss_rates = (0.03,)
+        config.model_duration = 40.0
+    result = rivals.run_rivals(
+        config, runner=runner, warm_start=_warm(args), manifest=manifest
+    )
+    return rivals.format_report(result), result, "rivals"
 
 
 def _run_identify(args, runner, manifest=None):
@@ -215,6 +238,7 @@ EXPERIMENTS = {
     "burst": _run_burst,
     "chaos": _run_chaos,
     "manyflow": _run_manyflow,
+    "rivals": _run_rivals,
     "identify": _run_identify,
 }
 
@@ -230,6 +254,7 @@ DESCRIPTIONS = {
     "burst": "Gilbert-Elliott burst-channel extension study",
     "chaos": "fault-injection campaigns with invariants + watchdog",
     "manyflow": "generated scenes swept against the mean-field RED oracle",
+    "rivals": "RR vs {Reno,NewReno,CUBIC,Relentless} under modern regimes",
     "identify": "trace-based variant identification vs the reference model",
 }
 
@@ -532,7 +557,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--warm-start",
         action="store_true",
-        help="fig5/fig6/fig7/table5/ackloss/manyflow: fork each grid from frozen"
+        help="fig5/fig6/fig7/table5/ackloss/manyflow/rivals: fork each grid from frozen"
         " warm-up prefixes instead of re-simulating them (bit-identical"
         " rows; see docs/WARMSTART.md)",
     )
@@ -542,6 +567,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="manyflow only: topology family to sweep (dumbbell,"
         " parkinglot, fattree, wan; see --list)",
+    )
+    parser.add_argument(
+        "--delayed-ack",
+        dest="delayed_ack",
+        action="store_true",
+        help="rivals/manyflow: enable RFC 1122 delayed ACKs at every"
+        " receiver (recorded in the run manifest)",
+    )
+    parser.add_argument(
+        "--ecn",
+        dest="ecn",
+        action="store_true",
+        help="rivals/manyflow: negotiate ECN end-to-end (RED bottlenecks"
+        " mark instead of early-dropping; recorded in the run manifest)",
     )
     parser.add_argument(
         "--seeds",
@@ -632,6 +671,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "warm_start": args.warm_start,
         "max_retries": args.max_retries,
         "task_timeout": args.task_timeout,
+        "delayed_ack": args.delayed_ack,
+        "ecn": args.ecn,
     }
     for name in names:
         telemetry = RunTelemetry(

@@ -74,6 +74,24 @@ def manyflow_rows(result) -> List[Dict[str, object]]:
     return rows
 
 
+def rivals_rows(result) -> List[Dict[str, object]]:
+    rows = []
+    for cell in result.cells:
+        row = _strip(asdict(cell))
+        # Uniform columns: only model cells carry a verdict, but the CSV
+        # writer keys every row off the first one's fields.
+        row.update(
+            oracle_passed=cell.verdict.passed if cell.verdict else None,
+            predicted_bps=cell.verdict.predicted_bps if cell.verdict else None,
+            predicted_window=(
+                cell.verdict.predicted_window if cell.verdict else None
+            ),
+            model_regime=cell.verdict.regime if cell.verdict else None,
+        )
+        rows.append(row)
+    return rows
+
+
 _CONVERTERS = {
     "fig5": figure5_rows,
     "fig6": figure6_rows,
@@ -81,6 +99,7 @@ _CONVERTERS = {
     "table5": table5_rows,
     "burst": burstchannel_rows,
     "manyflow": manyflow_rows,
+    "rivals": rivals_rows,
 }
 
 

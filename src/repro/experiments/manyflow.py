@@ -83,6 +83,13 @@ class ManyflowConfig:
     red_limit: int = 120
     start_jitter: float = 0.5
     queue_sample_period: float = 0.005
+    # CLI --delayed-ack / --ecn: the (previously dead) TcpConfig knobs,
+    # carried inside each cell's SceneSpec so they participate in the
+    # content address.  With ECN the RED bottlenecks mark instead of
+    # early-dropping and the oracle compares the fixed point against
+    # the *congestion-signal* probability (marks + drops).
+    delayed_ack: bool = False
+    ecn: bool = False
     seed: int = 21
 
 
@@ -134,7 +141,11 @@ def cell_spec(n_flows: int, max_p: float, config: ManyflowConfig) -> SceneSpec:
         max_p=max_p,
         weight=config.red_weight,
         limit=limit,
+        ecn=config.ecn,
     )
+    tcp = None
+    if config.delayed_ack or config.ecn:
+        tcp = TcpConfig(delayed_ack=config.delayed_ack, ecn_enabled=config.ecn)
     topology = None
     if config.family == "dumbbell":
         topology = DumbbellParams(
@@ -161,6 +172,7 @@ def cell_spec(n_flows: int, max_p: float, config: ManyflowConfig) -> SceneSpec:
         flows=FlowPopulation(count=n_flows, variant=config.variant),
         arrivals=ArrivalSpec(process="jitter", jitter=config.start_jitter),
         red=red,
+        tcp=tcp,
         seed=config.seed,
         duration=config.duration,
     )
@@ -214,6 +226,10 @@ def _finish(scene: Scene, label: str, config: ManyflowConfig) -> ManyflowCellRes
     spec = scene.spec
     queue = (scene.oracle_link or scene.bottlenecks[0]).queue
     base_drops, base_enqueues = queue.drops, queue.enqueues
+    # With ECN the RED feedback arrives as marks, not early drops; the
+    # fixed point describes the congestion-signal probability, so marks
+    # count alongside drops.
+    base_marks = getattr(queue, "ecn_marks", 0)
     base_acks = {fid: s.final_ack for fid, s in scene.stats.items()}
     window_start = scene.sim.now
     monitor = QueueMonitor(
@@ -225,8 +241,9 @@ def _finish(scene: Scene, label: str, config: ManyflowConfig) -> ManyflowCellRes
     window = max(spec.duration - window_start, 1e-9)
     drops = queue.drops - base_drops
     enqueues = queue.enqueues - base_enqueues
+    signals = drops + getattr(queue, "ecn_marks", 0) - base_marks
     offered = drops + enqueues
-    measured_loss = drops / offered if offered else 0.0
+    measured_loss = signals / offered if offered else 0.0
     measured_queue = monitor.mean_occupancy()
     acked = sum(s.final_ack - base_acks[fid] for fid, s in scene.stats.items())
     bandwidth = _cell_bandwidth(spec)

@@ -16,6 +16,14 @@ from repro.models.meanfield import (
     oracle_verdict,
     red_drop_curve,
 )
+from repro.models.relentless import (
+    RelentlessModelParams,
+    RelentlessPrediction,
+    RelentlessVerdict,
+    relentless_prediction,
+    relentless_verdict,
+    relentless_window,
+)
 
 __all__ = [
     "MATHIS_C_ACK_EVERY_PACKET",
@@ -32,4 +40,10 @@ __all__ = [
     "meanfield_fixed_point",
     "oracle_verdict",
     "red_drop_curve",
+    "RelentlessModelParams",
+    "RelentlessPrediction",
+    "RelentlessVerdict",
+    "relentless_prediction",
+    "relentless_verdict",
+    "relentless_window",
 ]

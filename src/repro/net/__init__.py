@@ -32,6 +32,7 @@ from repro.net.node import Agent, Host, Node, Router
 from repro.net.network import Network
 from repro.net.parkinglot import ParkingLot, ParkingLotParams
 from repro.net.topology import Dumbbell, DumbbellParams
+from repro.net.varlink import RateSchedule, bufferbloat_limit, bufferbloat_queue
 
 __all__ = [
     "ACK",
@@ -56,6 +57,9 @@ __all__ = [
     "DeterministicReorderer",
     "JitterReorderer",
     "Link",
+    "RateSchedule",
+    "bufferbloat_limit",
+    "bufferbloat_queue",
     "Node",
     "Host",
     "Router",

@@ -82,6 +82,10 @@ class Link:
         # checkpoints while disabled so default-link digests are
         # byte-identical to a batching-unaware build.
         self._batch = False
+        # Optional time-varying rate schedule (repro.net.varlink); set
+        # by RateSchedule.apply.  None is stripped from checkpoints for
+        # the same digest-compatibility reason as _batch.
+        self.rate_schedule = None
         self.packets_delivered = 0
         self.bytes_delivered = 0
         self.outage_drops = 0
@@ -127,12 +131,15 @@ class Link:
             # Default links pickle exactly as a batching-unaware link
             # would; batching links keep their mode and service horizon.
             del state["_batch"]
+        if state.get("rate_schedule") is None:
+            state.pop("rate_schedule", None)
         return state
 
     def __setstate__(self, state) -> None:
         state = dict(state)
         loss = state.pop("loss")
         state.setdefault("_batch", False)
+        state.setdefault("rate_schedule", None)
         self.__dict__.update(state)
         self.loss = loss
         # Rebound lazily on first emit: the trace bus may itself still
@@ -157,6 +164,21 @@ class Link:
     def transmission_time(self, packet: Packet) -> float:
         """Seconds the transmitter is occupied by ``packet``."""
         return packet.size * 8.0 / self.bandwidth_bps
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the link rate at runtime (rate schedules use this as
+        their step callback).  Takes effect at the next service start:
+        the packet currently in the transmitter keeps the service time
+        it was admitted with.  RED's idle-aging clock follows the new
+        rate."""
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {bandwidth_bps}")
+        if bandwidth_bps != self.bandwidth_bps:
+            self.bandwidth_bps = bandwidth_bps
+            setter = getattr(self.queue, "set_mean_packet_time", None)
+            if setter is not None:
+                setter(8.0 * 1000 / bandwidth_bps)
+            self._emit("link.rate", bandwidth_bps=bandwidth_bps)
 
     # ------------------------------------------------------------------
     # outages
@@ -260,6 +282,12 @@ class Link:
         if self.reorder is not None:
             raise ConfigurationError(
                 f"link {self.name}: batched egress is incompatible with a reorderer"
+            )
+        if self.rate_schedule is not None:
+            raise ConfigurationError(
+                f"link {self.name}: batched egress is incompatible with a rate "
+                "schedule (variable rate breaks the one-drain-per-busy-period "
+                "invariant)"
             )
         if not self._batch:
             self._batch = True

@@ -134,6 +134,21 @@ class RedQueue(PacketQueue):
             self._mean_pkt_time = seconds
 
     def _update_average(self) -> None:
+        """Advance the EWMA (and the idle epoch) for one arriving packet.
+
+        This is the single authoritative implementation — ``enqueue``
+        calls it rather than inlining a copy, so the two can never
+        drift apart again (they once did: the idle-epoch advance below
+        was fixed in the inlined copy only).
+
+        The idle epoch must survive drops: a packet refused at an
+        empty queue leaves the link idle, and wiping the epoch here
+        would disable the idle decay exactly when overload makes
+        every arrival a forced drop (avg then never recovers — a
+        lockout the many-flow scenes hit).  Advance it instead (the
+        decay below consumes the idle span so far); accepts make the
+        queue busy and ``dequeue`` restarts the clock on empty.
+        """
         q = len(self._items)
         w = self._w
         if q > 0 or self._idle_since is None:
@@ -145,28 +160,12 @@ class RedQueue(PacketQueue):
             m = int(idle / self._mean_pkt_time)
             self.avg *= (1 - w) ** m
             self.avg = (1 - w) * self.avg  # the arriving packet's update (q == 0)
+        self._idle_since = self._sim.now if q == 0 else None
 
     def enqueue(self, packet: Packet) -> bool:
-        # _update_average() inlined — this runs per arriving packet.
-        items = self._items
-        q = len(items)
-        w = self._w
-        if q > 0 or self._idle_since is None:
-            avg = (1 - w) * self.avg + w * q
-        else:
-            idle = self._sim.now - self._idle_since
-            m = int(idle / self._mean_pkt_time)
-            avg = self.avg * (1 - w) ** m
-            avg = (1 - w) * avg  # the arriving packet's update (q == 0)
-        self.avg = avg
-        # The idle epoch must survive drops: a packet refused at an
-        # empty queue leaves the link idle, and wiping the epoch here
-        # would disable the idle decay exactly when overload makes
-        # every arrival a forced drop (avg then never recovers — a
-        # lockout the many-flow scenes hit).  Advance it instead (the
-        # decay above consumed the idle span so far); accepts make the
-        # queue busy and ``dequeue`` restarts the clock on empty.
-        self._idle_since = self._sim.now if q == 0 else None
+        self._update_average()
+        avg = self.avg
+        q = len(self._items)
         if q >= self.limit:
             self.overflow_drops += 1
             self._count = 0
@@ -206,7 +205,7 @@ class RedQueue(PacketQueue):
                 return self._drop(packet, "early")
             return self._accept(packet)
         self._count = -1
-        items.append(packet)  # _accept inlined
+        self._items.append(packet)  # _accept inlined
         self.enqueues += 1
         return True
 

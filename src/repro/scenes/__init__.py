@@ -28,9 +28,11 @@ from repro.scenes.spec import (
 from repro.scenes.topologies import (
     BuiltTopology,
     FatTreeParams,
+    MobileParams,
     WaxmanParams,
     build_dumbbell,
     build_fattree,
+    build_mobile,
     build_parkinglot,
     build_wan,
 )
@@ -43,12 +45,14 @@ __all__ = [
     "BuiltTopology",
     "FatTreeParams",
     "FlowPopulation",
+    "MobileParams",
     "Scene",
     "SceneFamily",
     "SceneSpec",
     "WaxmanParams",
     "build_dumbbell",
     "build_fattree",
+    "build_mobile",
     "build_parkinglot",
     "build_scene",
     "build_wan",

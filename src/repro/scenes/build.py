@@ -155,6 +155,8 @@ def build_scene(
     spec.validate()
     fam = lookup_family(spec.family)
     topo_params = spec.topology if spec.topology is not None else fam.default_params()
+    if config is None:
+        config = spec.tcp  # spec-carried TCP knobs (delayed ACKs, ECN)
     sim = sim or Simulator()
     set_uid_state(1)
     root = RngStream(spec.seed, f"scene/{spec.family}")

@@ -18,9 +18,11 @@ from repro.net.topology import DumbbellParams
 from repro.scenes.topologies import (
     BuiltTopology,
     FatTreeParams,
+    MobileParams,
     WaxmanParams,
     build_dumbbell,
     build_fattree,
+    build_mobile,
     build_parkinglot,
     build_wan,
 )
@@ -53,6 +55,13 @@ FAMILIES: Dict[str, SceneFamily] = {
             ParkingLotParams,
             build_parkinglot,
             "chain of bottlenecks: one long path plus per-hop cross traffic",
+        ),
+        SceneFamily(
+            "mobile",
+            MobileParams,
+            build_mobile,
+            "dumbbell with a time-varying wireless bottleneck"
+            " (handover outages, bufferbloat buffer)",
         ),
         SceneFamily(
             "fattree",

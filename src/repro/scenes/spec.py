@@ -28,6 +28,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.config import TcpConfig
 from repro.errors import ConfigurationError
 from repro.net.red import RedParams
 from repro.runner.spec import canonicalize, uncanonicalize
@@ -109,6 +110,11 @@ class SceneSpec:
     #: RED parameters applied to every designated bottleneck queue;
     #: ``None`` keeps the family's drop-tail default.
     red: Optional[RedParams] = None
+    #: TCP agent tunables for every flow (delayed ACKs, ECN, ...);
+    #: ``None`` keeps the TcpConfig defaults.  Carried in the spec so
+    #: the knobs participate in the content address — a delayed-ACK
+    #: scene and its immediate-ACK twin hash differently.
+    tcp: Optional[TcpConfig] = None
     seed: int = 1
     duration: float = 10.0
 
@@ -131,6 +137,8 @@ class SceneSpec:
         self.arrivals.validate()
         if self.red is not None:
             self.red.validate()
+        if self.tcp is not None:
+            self.tcp.validate()
         if self.duration <= 0:
             raise ConfigurationError("scene duration must be positive")
         return self

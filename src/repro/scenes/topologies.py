@@ -111,6 +111,102 @@ def build_parkinglot(
 
 
 # ----------------------------------------------------------------------
+# mobile dumbbell (time-varying wireless bottleneck)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MobileParams:
+    """A dumbbell whose bottleneck is a mobile wireless link: the rate
+    follows a seeded :class:`~repro.net.varlink.RateSchedule` (uniform
+    spread around the mean, re-drawn every ``rate_interval`` seconds)
+    with periodic deep handover outages, buffered bufferbloat-style
+    (``bufferbloat_multiple`` x the mean-rate BDP).
+
+    ``bottleneck_bandwidth_bps`` is the schedule *mean*; the harnesses
+    use it as the nominal capacity.  The schedule covers
+    ``schedule_duration`` seconds — beyond it the last drawn rate
+    holds.  Fully determined by the params (``schedule_seed``
+    included): same params, same channel trace.
+    """
+
+    n_pairs: int = 3
+    bottleneck_bandwidth_bps: float = 2.0 * MBPS
+    bottleneck_delay: float = 0.030
+    side_bandwidth_bps: float = 10.0 * MBPS
+    side_delay: float = 0.001
+    spread: float = 0.6
+    rate_interval: float = 1.0
+    handover_period: float = 20.0
+    handover_duration: float = 0.4
+    schedule_seed: int = 0
+    schedule_duration: float = 60.0
+    bufferbloat_multiple: float = 10.0
+
+    def validate(self) -> None:
+        if self.n_pairs < 1:
+            raise ConfigurationError("mobile dumbbell needs at least one pair")
+        if self.bottleneck_bandwidth_bps <= 0:
+            raise ConfigurationError("mean bandwidth must be positive")
+        if not 0 <= self.spread < 1:
+            raise ConfigurationError("spread must be in [0, 1)")
+        if self.schedule_duration <= 0 or self.rate_interval <= 0:
+            raise ConfigurationError("schedule knobs must be positive")
+        if self.bufferbloat_multiple <= 0:
+            raise ConfigurationError("bufferbloat_multiple must be positive")
+
+
+def build_mobile(
+    sim: Simulator,
+    params: MobileParams,
+    queue_factory: Optional[QueueFactory] = None,
+    trace: Optional[TraceBus] = None,
+) -> BuiltTopology:
+    """The mobile-link family (docs/SCENARIOS.md): a dumbbell with a
+    time-varying bottleneck.  No oracle link — the mean-field fixed
+    point assumes a constant service rate."""
+    from repro.net.varlink import RateSchedule, bufferbloat_limit
+
+    params.validate()
+    base_rtt = 2 * (params.side_delay + params.bottleneck_delay + params.side_delay)
+    bell = Dumbbell(
+        sim,
+        DumbbellParams(
+            n_pairs=params.n_pairs,
+            bottleneck_bandwidth_bps=params.bottleneck_bandwidth_bps,
+            bottleneck_delay=params.bottleneck_delay,
+            side_bandwidth_bps=params.side_bandwidth_bps,
+            side_delay=params.side_delay,
+            buffer_packets=bufferbloat_limit(
+                params.bottleneck_bandwidth_bps,
+                base_rtt,
+                params.bufferbloat_multiple,
+            ),
+        ),
+        bottleneck_queue_factory=queue_factory,
+        trace=trace,
+        compact_routes=True,
+    )
+    RateSchedule.mobile(
+        params.schedule_seed,
+        duration=params.schedule_duration,
+        mean_bps=params.bottleneck_bandwidth_bps,
+        interval=params.rate_interval,
+        spread=params.spread,
+        handover_period=params.handover_period,
+        handover_duration=params.handover_duration,
+        name="scene-mobile",
+    ).apply(bell.forward_link)
+    return BuiltTopology(
+        net=bell.net,
+        pairs=list(zip(bell.senders, bell.receivers)),
+        bottlenecks=[bell.forward_link],
+        oracle_link=None,
+        base_rtt=base_rtt,
+    )
+
+
+# ----------------------------------------------------------------------
 # k-ary fat-tree
 # ----------------------------------------------------------------------
 

@@ -17,8 +17,10 @@ from repro.net.node import Host
 from repro.sim.engine import Simulator
 from repro.sim.tracing import TraceBus
 from repro.tcp.base import SenderObserver, TcpSender
+from repro.tcp.cubic import CubicSender
 from repro.tcp.newreno import NewRenoSender
 from repro.tcp.receiver import SackReceiver, TcpReceiver
+from repro.tcp.relentless import RelentlessSender
 from repro.tcp.reno import RenoSender
 from repro.tcp.rightedge import LinKungSender, RightEdgeSender
 from repro.tcp.sack import SackRfc3517Sender, SackSender
@@ -44,6 +46,9 @@ VARIANTS: Dict[str, Tuple[Type[TcpSender], Type[TcpReceiver]]] = {
     "ss-reno": (SmoothStartRenoSender, TcpReceiver),
     "ss-newreno": (SmoothStartNewRenoSender, TcpReceiver),
     "ss-rr": (SmoothStartRrSender, TcpReceiver),
+    # Modern rivals (post-paper; see docs/ALGORITHMS.md):
+    "cubic": (CubicSender, TcpReceiver),
+    "relentless": (RelentlessSender, TcpReceiver),
 }
 
 

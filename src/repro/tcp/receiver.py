@@ -82,7 +82,10 @@ class TcpReceiver(Agent):
             while self.rcv_next in self._out_of_order:
                 self._out_of_order.discard(self.rcv_next)
                 self.rcv_next += 1
-            if filled_gap:
+            # RFC 3168 section 6.1.3: a congestion-experienced mark must
+            # reach the sender without waiting out the delayed-ACK timer,
+            # else the congestion response lags by up to the full timeout.
+            if filled_gap or self._ecn_echo_pending:
                 self._send_ack()
             else:
                 self._ack_in_order()

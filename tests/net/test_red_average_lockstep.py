@@ -1,0 +1,106 @@
+"""Property: ``RedQueue.enqueue`` and ``_update_average`` never drift.
+
+``enqueue`` once inlined its own copy of the EWMA update, and the
+idle-epoch advance was later fixed in the inlined copy only — so any
+caller of ``_update_average`` saw a stale idle epoch and a different
+average trajectory after drops at an empty queue.  The method is now
+the single authoritative implementation and ``enqueue`` calls it.
+
+These tests drive a *shadow* queue through the method alone (mirroring
+the real queue's accept/drop outcomes, which never touch ``avg``) and
+assert the two ``avg`` sequences are identical over arbitrary
+arrival/idle/drain patterns.  They fail on the pre-fix code.
+"""
+
+import pytest
+
+from repro.net.packet import data_packet
+from repro.net.red import RedParams, RedQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStream
+
+# A slow EWMA (small weight, coarse mean packet time) keeps ``avg`` in
+# the drop region across idle gaps — drops at an *empty* queue are where
+# the two code paths historically disagreed.
+PARAMS = RedParams(
+    min_th=3.0, max_th=8.0, max_p=0.1, weight=0.05, limit=12, mean_pkt_time=0.02
+)
+
+
+def make_pair(sim, params=PARAMS):
+    real = RedQueue(sim, params, RngStream(7, "red/real"), name="real")
+    shadow = RedQueue(sim, params, RngStream(7, "red/shadow"), name="shadow")
+    return real, shadow
+
+
+def offer(sim, real, shadow, seq):
+    """One arrival at both queues; returns ``(real_avg, shadow_avg)``.
+
+    The shadow only runs ``_update_average``; the accept/drop outcome
+    (which does not touch ``avg``) is copied from the real queue so the
+    occupancies stay in lockstep without the shadow consuming any
+    random numbers.
+    """
+    shadow._update_average()
+    accepted = real.enqueue(data_packet(1, "S1", "K1", seq))
+    if accepted:
+        shadow._items.append(data_packet(1, "S1", "K1", seq))
+    return real.avg, shadow.avg
+
+
+def drain(real, shadow, n):
+    for _ in range(n):
+        real.dequeue()
+        shadow.dequeue()
+
+
+def test_drop_at_empty_queue_keeps_epochs_aligned():
+    """Forced drops at an empty queue: each drop must consume the idle
+    span so far in *both* paths (pre-fix, only ``enqueue`` advanced the
+    epoch, so the method decayed over the whole span every time)."""
+    sim = Simulator()
+    real, shadow = make_pair(sim)
+    real.avg = shadow.avg = 40.0  # forced-drop region, queues empty
+    pairs = []
+    for i in range(5):
+        sim.run(until=sim.now + 0.04)
+        pairs.append(offer(sim, real, shadow, i))
+        drain(real, shadow, len(real._items))  # keep the link idle
+    assert real.forced_drops > 0
+    for got, want in pairs:
+        assert got == want, pairs
+
+
+@pytest.mark.parametrize("seed", [11, 29, 83])
+def test_random_patterns_stay_in_lockstep(seed):
+    pattern = RngStream(seed, "red/pattern")
+    sim = Simulator()
+    real, shadow = make_pair(sim)
+    real.avg = shadow.avg = 20.0  # start hot: early arrivals find drops
+    seq = 0
+    real_avgs, shadow_avgs = [], []
+    for _ in range(500):
+        roll = pattern.random()
+        if roll < 0.55:
+            r, s = offer(sim, real, shadow, seq)
+            real_avgs.append(r)
+            shadow_avgs.append(s)
+            seq += 1
+        elif roll < 0.8:
+            drain(real, shadow, 1 + int(pattern.random() * 4))
+        else:
+            # Idle gap: advance the clock with nothing in flight.
+            sim.run(until=sim.now + pattern.random() * 0.05)
+    assert real.early_drops + real.forced_drops > 0  # pattern hit RED
+    assert real_avgs == shadow_avgs
+
+
+def test_occupancy_mirroring_is_sound():
+    """Sanity for the harness itself: shadow occupancy tracks real."""
+    sim = Simulator()
+    real, shadow = make_pair(sim)
+    for i in range(20):
+        offer(sim, real, shadow, i)
+        if i % 5 == 4:
+            drain(real, shadow, 2)
+    assert len(real._items) == len(shadow._items)

@@ -40,7 +40,7 @@ class TestRegistry:
 
     def test_unknown_variant_rejected(self):
         with pytest.raises(ConfigurationError):
-            sender_class_for("cubic")
+            sender_class_for("hybla")
         with pytest.raises(ConfigurationError):
             receiver_class_for("bbr")
 

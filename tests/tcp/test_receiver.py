@@ -153,6 +153,120 @@ class TestDelayedAck:
         assert [p.ackno for p in host.sent] == [2]
 
 
+class TestEcnDelayedAck:
+    """RFC 3168: congestion-experienced marks must not idle behind the
+    delayed-ACK timer — the echo rides an immediate ACK."""
+
+    def deliver_marked(self, receiver, seqno):
+        packet = data_packet(1, "S1", "K1", seqno)
+        packet.ecn_marked = True
+        receiver.receive(packet)
+
+    def test_marked_in_order_packet_acks_immediately(self):
+        config = TcpConfig(delayed_ack=True, ecn_enabled=True)
+        sim, receiver, host = make_receiver(config=config)
+        self.deliver_marked(receiver, 0)
+        assert [p.ackno for p in host.sent] == [1]
+        assert host.sent[0].ecn_echo
+
+    def test_mark_flushes_pending_delayed_ack(self):
+        config = TcpConfig(delayed_ack=True, ecn_enabled=True)
+        sim, receiver, host = make_receiver(config=config)
+        deliver(receiver, 0)  # unmarked: held back
+        assert host.sent == []
+        self.deliver_marked(receiver, 1)  # mark: flush now, echo set
+        assert [p.ackno for p in host.sent] == [2]
+        assert host.sent[0].ecn_echo
+        sim.run(until=1.0)
+        assert len(host.sent) == 1  # nothing left on the timer
+
+    def test_echo_latency_not_timer_bound(self):
+        """Pre-fix, a solitary marked packet waited out the full
+        delayed-ACK timeout (200 ms) before the echo went out."""
+        config = TcpConfig(
+            delayed_ack=True, ecn_enabled=True, delayed_ack_timeout=0.2
+        )
+        sim, receiver, host = make_receiver(config=config)
+        self.deliver_marked(receiver, 0)
+        sim.run(until=0.05)  # well inside the timeout window
+        assert len(host.sent) == 1 and host.sent[0].ecn_echo
+
+    def test_unmarked_traffic_still_delays(self):
+        config = TcpConfig(delayed_ack=True, ecn_enabled=True)
+        sim, receiver, host = make_receiver(config=config)
+        deliver(receiver, 0)
+        assert host.sent == []  # no mark, normal delayed-ACK holdback
+
+    def test_sack_receiver_inherits_immediate_echo(self):
+        config = TcpConfig(delayed_ack=True, ecn_enabled=True)
+        sim, receiver, host = make_receiver(SackReceiver, config=config)
+        self.deliver_marked(receiver, 0)
+        assert [p.ackno for p in host.sent] == [1]
+        assert host.sent[0].ecn_echo
+
+
+class TestSackDelayedAck:
+    """SACK receiver with delayed ACKs: blocks only ever describe the
+    out-of-order buffer, and the immediate-ACK rules win over delay."""
+
+    def make(self):
+        config = TcpConfig(delayed_ack=True, delayed_ack_timeout=0.2)
+        return make_receiver(SackReceiver, config=config)
+
+    def test_in_order_data_still_delays(self):
+        sim, receiver, host = self.make()
+        deliver(receiver, 0)
+        assert host.sent == []
+        deliver(receiver, 1)
+        assert [p.ackno for p in host.sent] == [2]
+        assert host.sent[0].sack_blocks == []
+
+    def test_timer_flush_carries_no_stale_blocks(self):
+        sim, receiver, host = self.make()
+        deliver(receiver, 0)
+        sim.run(until=1.0)
+        assert [p.ackno for p in host.sent] == [1]
+        assert host.sent[0].sack_blocks == []
+
+    def test_out_of_order_flushes_pending_with_blocks(self):
+        sim, receiver, host = self.make()
+        deliver(receiver, 0)  # held back
+        deliver(receiver, 2)  # immediate; must also cover seqno 0
+        assert [p.ackno for p in host.sent] == [1]
+        block = host.sent[0].sack_blocks[0]
+        assert (block.start, block.end) == (2, 3)
+        sim.run(until=1.0)
+        assert len(host.sent) == 1  # nothing left on the timer
+
+    def test_gap_fill_acks_immediately_with_remaining_blocks(self):
+        sim, receiver, host = self.make()
+        deliver(receiver, 1)
+        deliver(receiver, 3)
+        host.sent.clear()
+        deliver(receiver, 0)  # fills part of the gap; 3 still buffered
+        assert [p.ackno for p in host.sent] == [2]
+        block = host.sent[0].sack_blocks[0]
+        assert (block.start, block.end) == (3, 4)
+
+    def test_delay_resumes_after_hole_repair(self):
+        sim, receiver, host = self.make()
+        deliver(receiver, 1)  # dup ACK
+        deliver(receiver, 0)  # gap fill: immediate ACK(2)
+        host.sent.clear()
+        deliver(receiver, 2)  # clean in-order again: held back
+        assert host.sent == []
+        deliver(receiver, 3)
+        assert [p.ackno for p in host.sent] == [4]
+        assert host.sent[0].sack_blocks == []
+
+    def test_most_recent_block_first_under_delack(self):
+        sim, receiver, host = self.make()
+        deliver(receiver, 2)
+        deliver(receiver, 5)
+        first = host.sent[-1].sack_blocks[0]
+        assert (first.start, first.end) == (5, 6)  # RFC 2018 ordering
+
+
 class TestSackReceiver:
     def test_no_blocks_when_in_order(self):
         _, receiver, host = make_receiver(SackReceiver)

@@ -1,0 +1,110 @@
+"""Unit tests for Relentless TCP: cwnd decreases by exactly the number
+of lost segments, never by half; timeouts keep the full conservative
+response."""
+
+import pytest
+
+from repro.config import TcpConfig
+from repro.tcp.relentless import RelentlessSender
+from tests.conftest import SenderHarness
+
+
+def make(cwnd=10.0, **cfg):
+    config = TcpConfig(initial_cwnd=cwnd, initial_ssthresh=64, **cfg)
+    return SenderHarness(RelentlessSender, config)
+
+
+class TestNoMultiplicativeBackoff:
+    def test_entry_does_not_halve(self):
+        harness = make()
+        harness.start()  # 0..9 out
+        harness.dupacks(0, 3)
+        assert harness.sender.in_recovery
+        # ssthresh parked one below entry, inflated for ACK clocking.
+        assert harness.sender.ssthresh == pytest.approx(9.0)
+        assert harness.sender.cwnd == pytest.approx(12.0)
+
+    def test_single_loss_costs_one_segment(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.ack(10)  # full ACK: only packet 0 was lost
+        assert not harness.sender.in_recovery
+        # entry 10, minus the 1 loss, plus CA growth for the one
+        # in-recovery ACK (the full ACK; the third dup *triggered*
+        # entry) at the 1/10 entry rate.
+        assert harness.sender.cwnd == pytest.approx(10.0 - 1.0 + 1 * 0.1)
+        assert harness.sender.ssthresh == pytest.approx(harness.sender.cwnd)
+
+    def test_three_losses_cost_three_segments(self):
+        harness = make()
+        harness.start()  # losses at 0, 3, 5
+        harness.dupacks(0, 3)
+        harness.ack(3)   # partial: hole at 3
+        harness.ack(5)   # partial: hole at 5
+        harness.ack(10)  # full
+        assert not harness.sender.in_recovery
+        # entry 10, minus 3 losses, plus 3 in-recovery ACKs of growth
+        # (two partials + the full ACK).
+        assert harness.sender.cwnd == pytest.approx(10.0 - 3.0 + 3 * 0.1)
+
+    def test_floor_at_two_segments(self):
+        harness = make(cwnd=4.0)
+        harness.start()  # 0..3; lose all four
+        harness.dupacks(0, 3)
+        for ackno in (1, 2, 3):
+            harness.ack(ackno)
+        harness.ack(4)
+        assert harness.sender.cwnd >= 2.0
+
+    def test_resumes_congestion_avoidance_not_slow_start(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.ack(10)  # cwnd = ssthresh = 9.4
+        exit_cwnd = harness.sender.cwnd
+        harness.ack(11)
+        # +1/cwnd growth (congestion avoidance), not +1 (slow start).
+        assert harness.sender.cwnd == pytest.approx(exit_cwnd + 1.0 / exit_cwnd)
+
+    def test_growth_continues_through_recovery(self):
+        """The draft's second half: a long recovery episode still earns
+        CA growth, tallied at the entry-window rate."""
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.dupacks(0, 5)  # five more delivered packets
+        harness.ack(10)
+        # 6 in-recovery ACKs (5 post-entry dups + full) at 1/10 each,
+        # one loss.
+        assert harness.sender.cwnd == pytest.approx(10.0 - 1.0 + 6 * 0.1)
+
+
+class TestRecoveryMechanics:
+    def test_partial_ack_retransmits_next_hole(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.host.clear()
+        harness.ack(3)
+        assert harness.host.retransmit_seqs() == [3]
+        assert harness.sender.in_recovery
+
+    def test_stale_dupacks_do_not_reenter(self):
+        harness = make()
+        harness.start()
+        harness.dupacks(0, 3)
+        harness.ack(10)
+        harness.host.clear()
+        harness.dupacks(10, 3)
+        assert harness.host.retransmit_seqs() == []
+
+    def test_timeout_keeps_conservative_response(self):
+        """Per the draft, losing the ACK clock entirely still warrants
+        the standard backoff: ssthresh = flight/2, cwnd = 1."""
+        harness = make()
+        harness.start()  # 0..9 in flight
+        harness.advance(4.0)  # first RTO fires (initial_rto = 3 s)
+        assert harness.sender.timeouts == 1
+        assert harness.sender.cwnd == pytest.approx(1.0)
+        assert harness.sender.ssthresh == pytest.approx(5.0)

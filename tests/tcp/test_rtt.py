@@ -98,6 +98,42 @@ class TestBackoff:
             estimator.backoff()
         assert estimator.current() == pytest.approx(8.0)
 
+    def test_backoff_factor_saturates_near_max(self):
+        """The multiplier stops doubling once base*factor reaches
+        max_rto — it must not grow without bound while current() sits
+        pinned at the cap."""
+        estimator = make(max_rto=10.0)
+        estimator.on_sample(1.0)  # SRTT 1, RTTVAR 0.5 -> RTO 3
+        base = estimator.current()
+        assert base == pytest.approx(3.0)
+        estimator.backoff()  # 3 -> 6
+        estimator.backoff()  # 6 -> 12, clamped to 10
+        saturated = estimator.backoff_factor
+        assert saturated == 4
+        for _ in range(50):
+            estimator.backoff()
+        assert estimator.backoff_factor == saturated  # no runaway doubling
+        assert estimator.current() == pytest.approx(10.0)
+
+    def test_backoff_factor_stops_at_exact_boundary(self):
+        """base*factor == max_rto exactly: a further backoff would be a
+        no-op for current(), so the factor must not double either."""
+        estimator = make(initial_rto=4.0, max_rto=8.0)
+        estimator.backoff()  # 4 -> 8, exactly the cap
+        assert estimator.backoff_factor == 2
+        estimator.backoff()
+        assert estimator.backoff_factor == 2
+        assert estimator.current() == pytest.approx(8.0)
+
+    def test_sample_after_saturation_deflates(self):
+        estimator = make(max_rto=10.0)
+        estimator.on_sample(1.0)
+        for _ in range(10):
+            estimator.backoff()
+        estimator.on_sample(1.0)
+        assert estimator.backoff_factor == 1
+        assert estimator.current() < 10.0
+
     def test_new_sample_resets_backoff(self):
         estimator = make()
         estimator.on_sample(1.0)
